@@ -1,0 +1,130 @@
+"""Section 3: HNS binding vs the reregistration-based baselines.
+
+"The interim HRPC binding mechanism ... took 200 msec. ... We
+implemented such a scheme on top of the Clearinghouse, and found that
+binding took 166 msec. ... this comparison shows that the tuned HNS
+performance is reasonably close to that of homogeneous name services."
+"""
+
+import pytest
+
+from repro.baselines import LocalFileBinder, ReregistrationBinder
+from repro.clearinghouse import ClearinghouseClient
+from repro.core import Arrangement
+from repro.harness import ComparisonTable
+from repro.localfiles import BindingFileEntry, LocalBindingFile, Replicator
+from repro.workloads import build_stack, build_testbed
+from repro.workloads.scenarios import CREDENTIALS
+
+from conftest import FIJI, run, timed
+
+
+def measure_localfile(seed=51):
+    testbed = build_testbed(seed=seed)
+    env = testbed.env
+    replica = LocalBindingFile(testbed.client, testbed.calibration)
+    replicator = Replicator(testbed.internet, testbed.udp, [replica])
+    run(
+        env,
+        replicator.publish(
+            testbed.client,
+            BindingFileEntry(
+                "DesiredService",
+                "fiji.cs.washington.edu",
+                str(testbed.fiji.address),
+                9999,
+            ),
+        ),
+    )
+    binder = LocalFileBinder(testbed.client, replica, testbed.calibration)
+    return timed(
+        env, binder.import_binding("DesiredService", "fiji.cs.washington.edu")
+    )
+
+
+def measure_ch_rereg(seed=52):
+    testbed = build_testbed(seed=seed)
+    env = testbed.env
+    store = ClearinghouseClient(
+        testbed.client, testbed.tcp, testbed.ch_endpoint, CREDENTIALS
+    )
+    binder = ReregistrationBinder(testbed.client, store, "bindings", testbed.calibration)
+    run(
+        env,
+        binder.reregister(
+            "DesiredService",
+            "fiji.cs.washington.edu",
+            str(testbed.fiji.address),
+            9999,
+        ),
+    )
+    return timed(
+        env, binder.import_binding("DesiredService", "fiji.cs.washington.edu")
+    )
+
+
+def measure_hns_band(seed=53):
+    """(best, worst) HNS binding over arrangements x cache states."""
+    best, worst = float("inf"), 0.0
+    for arrangement in (Arrangement.ALL_LOCAL, Arrangement.ALL_REMOTE):
+        testbed = build_testbed(seed=seed)
+        stack = build_stack(testbed, arrangement)
+        env = testbed.env
+        stack.flush_all_caches()
+        cold = timed(env, stack.importer.import_binding("DesiredService", FIJI))
+        warm = timed(env, stack.importer.import_binding("DesiredService", FIJI))
+        best = min(best, warm)
+        worst = max(worst, cold)
+    return best, worst
+
+
+@pytest.mark.benchmark(group="baselines")
+def test_binding_scheme_comparison(benchmark):
+    def measure():
+        return measure_localfile(), measure_ch_rereg(), measure_hns_band()
+
+    localfile_ms, rereg_ms, (hns_best, hns_worst) = benchmark(measure)
+    table = ComparisonTable("Binding scheme comparison (msec)")
+    table.add("interim replicated local files", 200.0, localfile_ms)
+    table.add("reregistration into Clearinghouse", 166.0, rereg_ms)
+    table.add("HNS binding, best case (all local, all hit)", 104.0, hns_best)
+    table.add("HNS binding, worst case (all remote, all miss)", 547.0, hns_worst)
+    print()
+    print(table.render())
+    table.check(tolerance_pct=2.0)
+    # The paper's qualitative claims:
+    # 1. tuned (cached) HNS beats both reregistration baselines;
+    assert hns_best < rereg_ms < localfile_ms
+    # 2. untuned (cold) HNS is several times slower than either.
+    assert hns_worst > 2 * rereg_ms
+
+
+@pytest.mark.benchmark(group="baselines")
+def test_reregistration_cost_is_unending(benchmark):
+    """The cost the HNS avoids: publishing updates grows linearly in
+    system size, and never stops."""
+
+    def measure():
+        testbed = build_testbed(seed=54)
+        env = testbed.env
+        costs = []
+        for n_replicas in (2, 8, 32):
+            hosts = [testbed.client] + [
+                testbed.internet.add_host(f"r{n_replicas}-{i}")
+                for i in range(n_replicas - 1)
+            ]
+            files = [LocalBindingFile(h, testbed.calibration) for h in hosts]
+            replicator = Replicator(testbed.internet, testbed.udp, files)
+            entry = BindingFileEntry(
+                "svc", "h.dom", str(testbed.fiji.address), 1
+            )
+            costs.append(
+                (n_replicas, timed(env, replicator.publish(testbed.client, entry)))
+            )
+        return costs
+
+    costs = benchmark(measure)
+    print("\nreplication cost by system size:")
+    for n, ms in costs:
+        print(f"  {n:>3} replicas: {ms:8.1f} ms per update")
+    assert costs[-1][1] > 8 * costs[0][1]

@@ -1,0 +1,119 @@
+"""Section 3 "Performance": the basic overhead of HNS naming.
+
+Regenerates the prose measurements around Table 3.1:
+
+- FindNSM cold vs cached (the paper: 460 -> 88 msec; our decomposition
+  of Table 3.1 row 1 puts the six cold mappings at ~288 ms — see
+  EXPERIMENTS.md for why the two of the paper's own numbers cannot
+  both hold);
+- the remote call to an NSM (paper: 22-38 msec; the table's own
+  single-call deltas are 43-57);
+- native lookups: BIND 27 msec, Clearinghouse 156 msec.
+"""
+
+import pytest
+
+from repro.bind import BindResolver
+from repro.clearinghouse import ClearinghouseClient
+from repro.harness import ComparisonTable
+from repro.hrpc import HRPCBinding, HrpcRuntime, HrpcServer
+from repro.workloads import build_testbed
+from repro.workloads.scenarios import CREDENTIALS
+
+from conftest import FIJI, DLION, timed
+
+
+def measure_findnsm(seed=41):
+    testbed = build_testbed(seed=seed)
+    hns = testbed.make_hns(testbed.client)
+    env = testbed.env
+    cold = timed(env, hns.find_nsm(FIJI, "HRPCBinding"))
+    warm = timed(env, hns.find_nsm(FIJI, "HRPCBinding"))
+    return cold, warm
+
+
+def measure_native(seed=42):
+    testbed = build_testbed(seed=seed)
+    env = testbed.env
+    resolver = BindResolver(
+        testbed.client,
+        testbed.udp,
+        testbed.public_endpoint,
+        calibration=testbed.calibration,
+    )
+    bind_ms = timed(env, resolver.lookup_address("fiji.cs.washington.edu"))
+    ch = ClearinghouseClient(
+        testbed.client, testbed.tcp, testbed.ch_endpoint, CREDENTIALS
+    )
+    ch_ms = timed(env, ch.lookup_address("dlion:hcs:uw"))
+    return bind_ms, ch_ms
+
+
+def measure_nsm_remote_call(seed=43):
+    """Cost of the remote call itself (warm NSM, so only call overhead)."""
+    testbed = build_testbed(seed=seed)
+    env = testbed.env
+    from repro.core import NsmStub, serve_nsm
+
+    nsm = testbed.make_bind_binding_nsm(testbed.nsm_host)
+    server = HrpcServer(testbed.nsm_host)
+    program = serve_nsm(server, nsm)
+    endpoint = server.listen(9100)
+    runtime = HrpcRuntime(testbed.client, testbed.internet)
+    stub = NsmStub(testbed.client, runtime)
+    binding = HRPCBinding(endpoint, program, suite="sunrpc")
+    timed(env, stub.call(binding, FIJI, service="DesiredService"))  # warm it
+    warm_remote = timed(env, stub.call(binding, FIJI, service="DesiredService"))
+    return warm_remote - 3.0  # subtract the NSM's cache-hit work
+
+
+@pytest.mark.benchmark(group="basic-overhead")
+def test_findnsm_cost_and_caching(benchmark):
+    cold, warm = benchmark(measure_findnsm)
+    print(f"\nFindNSM cold: {cold:.1f} ms; cached: {warm:.1f} ms "
+          f"(paper: 460 uncached -> 88 with cache; see EXPERIMENTS.md)")
+    benchmark.extra_info["cold_ms"] = round(cold, 1)
+    benchmark.extra_info["warm_ms"] = round(warm, 1)
+    # Shape: caching wins by a large factor.
+    assert cold / warm > 5
+    assert cold == pytest.approx(287.7, rel=0.02)
+    assert warm == pytest.approx(7.0, rel=0.02)
+
+
+@pytest.mark.benchmark(group="basic-overhead")
+def test_native_lookup_costs(benchmark):
+    bind_ms, ch_ms = benchmark(measure_native)
+    table = ComparisonTable("Native name service lookups (msec)")
+    table.add("BIND name-to-address", 27.0, bind_ms)
+    table.add("Clearinghouse name-to-address", 156.0, ch_ms)
+    print()
+    print(table.render())
+    table.check(tolerance_pct=2.0)
+
+
+@pytest.mark.benchmark(group="basic-overhead")
+def test_nsm_remote_call_cost(benchmark):
+    call_ms = benchmark(measure_nsm_remote_call)
+    print(
+        f"\nremote NSM call overhead: {call_ms:.1f} ms "
+        "(paper text: 22-38; paper's own Table 3.1 deltas: 43-57)"
+    )
+    benchmark.extra_info["nsm_call_ms"] = round(call_ms, 1)
+    assert 38 <= call_ms <= 50
+
+
+@pytest.mark.benchmark(group="basic-overhead")
+def test_total_hns_overhead_band(benchmark):
+    """'the basic overhead of HNS naming is between 88 and 126 msec':
+    cached FindNSM plus (0 or 1) remote NSM call.  Our calibrated
+    figures put the band at ~7 to ~50 ms on top of the NSM's work; the
+    *structure* (a narrow cached band far below any cold path) holds."""
+
+    def band():
+        cold, warm = measure_findnsm(seed=44)
+        call = measure_nsm_remote_call(seed=45)
+        return warm, warm + call, cold
+
+    low, high, cold = benchmark(band)
+    print(f"\ncached HNS overhead band: {low:.1f} - {high:.1f} ms (cold {cold:.0f})")
+    assert high < cold / 4

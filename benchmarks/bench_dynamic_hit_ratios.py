@@ -1,0 +1,149 @@
+"""The paper's open question: dynamic cache hit ratios in practice.
+
+"Neither of these increments leads to a clear cut decision about the
+most efficient location for the HNS or the NSMs.  Further work on the
+dynamic cache hit ratios achieved in practice will be required to make
+this decision for any particular workload."
+
+This bench does that further work on the simulated testbed: fleets of
+clients run FindNSM workloads against (a) per-client locally linked HNS
+instances and (b) one shared remote HNS service, across workload
+overlap regimes.  A shared cache's advantage is exactly the cross-client
+overlap; equation (1) says remote placement needs ~12-15 % extra hits to
+pay for its call — so high-overlap workloads should favour the shared
+server and disjoint workloads the local copies.
+"""
+
+import pytest
+
+from repro.core import HNSName
+from repro.core.hns import serve_hns
+from repro.hrpc import HRPCBinding, HrpcRuntime, HrpcServer
+from repro.net.addresses import Endpoint
+from repro.workloads import build_testbed
+from repro.workloads.scenarios import BIND_NS, HNS_PORT
+
+from conftest import run
+
+N_CLIENTS = 6
+CONTEXTS_PER_CLIENT = 6
+
+
+def _register_contexts(testbed, count):
+    """Extra contexts on the BIND name service, one per workload item."""
+    from repro.core import HnsAdministrator
+
+    admin = HnsAdministrator(testbed.make_metastore(testbed.meta_host))
+
+    def register():
+        for i in range(count):
+            yield from admin.register_context(f"WL{i}", BIND_NS)
+
+    run(testbed.env, register())
+
+
+def _client_queries(i, overlap):
+    """The query stream for client ``i``: each context touched once, so
+    a client's own cache never helps — only sharing can.
+
+    ``overlap=True``: everyone visits the same contexts (high
+    cross-client locality).  ``overlap=False``: disjoint contexts per
+    client (a shared cache gains nothing).
+    """
+    if overlap:
+        contexts = [f"WL{k}" for k in range(CONTEXTS_PER_CLIENT)]
+    else:
+        contexts = [
+            f"WL{i * CONTEXTS_PER_CLIENT + k}" for k in range(CONTEXTS_PER_CLIENT)
+        ]
+    return [HNSName(ctx, "fiji.cs.washington.edu") for ctx in contexts]
+
+
+def measure_local(overlap, seed):
+    """Each client links its own HNS library (private caches)."""
+    testbed = build_testbed(seed=seed)
+    _register_contexts(testbed, N_CLIENTS * CONTEXTS_PER_CLIENT)
+    env = testbed.env
+    latencies = []
+
+    def one_client(i):
+        host = testbed.internet.add_host(f"lc{i}")
+        hns = testbed.make_hns(host)
+        yield env.timeout(i * 3_000)  # arrivals spread out
+        for name in _client_queries(i, overlap):
+            start = env.now
+            yield from hns.find_nsm(name, "HRPCBinding")
+            latencies.append(env.now - start)
+
+    for i in range(N_CLIENTS):
+        env.process(one_client(i))
+    env.run()
+    return sum(latencies) / len(latencies)
+
+
+def measure_remote(overlap, seed):
+    """All clients call one shared remote HNS service."""
+    testbed = build_testbed(seed=seed)
+    _register_contexts(testbed, N_CLIENTS * CONTEXTS_PER_CLIENT)
+    env = testbed.env
+    hns = testbed.make_hns(testbed.hns_host)
+    server = HrpcServer(testbed.hns_host)
+    serve_hns(hns, server)
+    server.listen(HNS_PORT)
+    hns_binding = HRPCBinding(
+        Endpoint(testbed.hns_host.address, HNS_PORT), "hns", suite="sunrpc"
+    )
+    latencies = []
+
+    def one_client(i):
+        host = testbed.internet.add_host(f"rc{i}")
+        runtime = HrpcRuntime(host, testbed.internet)
+        yield env.timeout(i * 3_000)
+        for name in _client_queries(i, overlap):
+            start = env.now
+            yield from runtime.call(
+                hns_binding, "FindNSM", str(name), "HRPCBinding",
+                timeout_ms=10_000,
+            )
+            latencies.append(env.now - start)
+
+    for i in range(N_CLIENTS):
+        env.process(one_client(i))
+    env.run()
+    return sum(latencies) / len(latencies), hns.metastore.cache.hit_ratio
+
+
+@pytest.mark.benchmark(group="dynamic-hit-ratios")
+def test_shared_hns_wins_on_overlapping_workloads(benchmark):
+    def measure():
+        local = measure_local(overlap=True, seed=141)
+        remote, hit_ratio = measure_remote(overlap=True, seed=141)
+        return local, remote, hit_ratio
+
+    local, remote, hit_ratio = benchmark(measure)
+    print(
+        f"\noverlapping workloads: local copies {local:.0f} ms/query, "
+        f"shared remote HNS {remote:.0f} ms/query "
+        f"(shared cache hit ratio {hit_ratio:.2f})"
+    )
+    # Everyone visits the same contexts: the shared cache absorbs each
+    # cold miss once, so remote placement beats per-client local caches.
+    assert remote < local
+
+
+@pytest.mark.benchmark(group="dynamic-hit-ratios")
+def test_local_hns_wins_on_disjoint_workloads(benchmark):
+    def measure():
+        local = measure_local(overlap=False, seed=142)
+        remote, hit_ratio = measure_remote(overlap=False, seed=142)
+        return local, remote, hit_ratio
+
+    local, remote, hit_ratio = benchmark(measure)
+    print(
+        f"\ndisjoint workloads: local copies {local:.0f} ms/query, "
+        f"shared remote HNS {remote:.0f} ms/query "
+        f"(shared cache hit ratio {hit_ratio:.2f})"
+    )
+    # No cross-client overlap: the shared cache buys nothing beyond each
+    # client's own locality, so the 43 ms call overhead decides it.
+    assert local < remote

@@ -1,0 +1,117 @@
+"""Section 3: cache preloading via the BIND zone-transfer mechanism.
+
+"The actual preload cost was measured to be about 390 msec.  Since the
+cost of preloading plus a cache hit falls between one and two cache
+miss times, preloading seems to be effective in situations where two or
+more calls to the HNS for different context/query classes will be
+made."
+"""
+
+import pytest
+
+from repro.core import HNSName
+from repro.core.model import preload_breakeven_calls
+from repro.harness import ComparisonTable
+from repro.workloads import build_testbed
+
+from conftest import timed
+
+
+def measure_preload(seed=61):
+    testbed = build_testbed(seed=seed)
+    hns = testbed.make_hns(testbed.client)
+    env = testbed.env
+    preload_ms = timed(env, hns.preload())
+    # First FindNSM after preload: all six mappings hit.
+    first_after = timed(
+        env,
+        hns.find_nsm(HNSName("BIND-cs", "fiji.cs.washington.edu"), "HRPCBinding"),
+    )
+    zone = testbed.meta_server.zones[0]
+    return preload_ms, first_after, zone.wire_size()
+
+
+def measure_cold_miss(seed=62):
+    testbed = build_testbed(seed=seed)
+    hns = testbed.make_hns(testbed.client)
+    return timed(
+        testbed.env,
+        hns.find_nsm(HNSName("BIND-cs", "fiji.cs.washington.edu"), "HRPCBinding"),
+    )
+
+
+def measure_sweep(max_queries=5, seed=63):
+    """Total cost of k distinct FindNSMs, with and without preloading."""
+    # Distinct context/query-class pairs, alternating name systems so
+    # consecutive cold queries share as little meta state as possible
+    # (the regime the paper's break-even statement describes).
+    queries = [
+        (HNSName("BIND-cs", "fiji.cs.washington.edu"), "HRPCBinding"),
+        (HNSName("CH-hcs", "dlion:hcs:uw"), "HRPCBinding"),
+        (HNSName("BIND-cs", "schwartz.cs.washington.edu"), "MailboxLocation"),
+        (HNSName("CH-hcs", "levy:hcs:uw"), "MailboxLocation"),
+        (HNSName("BIND-cs", "src.projects.cs.washington.edu"), "FileService"),
+    ][:max_queries]
+    results = []
+    for k in range(1, len(queries) + 1):
+        # Without preload.
+        testbed = build_testbed(seed=seed)
+        hns = testbed.make_hns(testbed.client)
+        cold_total = sum(
+            timed(testbed.env, hns.find_nsm(name, qc)) for name, qc in queries[:k]
+        )
+        # With preload.
+        testbed2 = build_testbed(seed=seed)
+        hns2 = testbed2.make_hns(testbed2.client)
+        preload_ms = timed(testbed2.env, hns2.preload())
+        warm_total = preload_ms + sum(
+            timed(testbed2.env, hns2.find_nsm(name, qc)) for name, qc in queries[:k]
+        )
+        results.append((k, cold_total, warm_total))
+    return results
+
+
+@pytest.mark.benchmark(group="preload")
+def test_preload_cost_and_size(benchmark):
+    preload_ms, first_after, zone_bytes = benchmark(measure_preload)
+    table = ComparisonTable("Cache preloading")
+    table.add("preload cost (msec)", 390.0, preload_ms)
+    table.add("meta information size (bytes)", 2048, zone_bytes)
+    print()
+    print(table.render())
+    print(f"first FindNSM after preload: {first_after:.1f} ms (all hits)")
+    assert preload_ms == pytest.approx(390.0, rel=0.05)
+    assert 1000 < zone_bytes < 4000  # "about 2KB"
+    assert first_after < 10
+
+
+@pytest.mark.benchmark(group="preload")
+def test_preload_falls_between_one_and_two_misses(benchmark):
+    def measure():
+        preload_ms, first_after, _ = measure_preload(seed=64)
+        miss_ms = measure_cold_miss(seed=65)
+        return preload_ms + first_after, miss_ms
+
+    preload_plus_hit, miss = benchmark(measure)
+    print(
+        f"\npreload+hit = {preload_plus_hit:.0f} ms; "
+        f"one miss = {miss:.0f} ms; two misses = {2 * miss:.0f} ms"
+    )
+    assert miss < preload_plus_hit < 2 * miss
+
+
+@pytest.mark.benchmark(group="preload")
+def test_preload_breakeven_sweep(benchmark):
+    """Preloading wins from the second distinct query onward."""
+    results = benchmark(measure_sweep)
+    print("\nk distinct queries: cold total vs preload total (ms)")
+    for k, cold, warm in results:
+        winner = "preload" if warm < cold else "cold"
+        print(f"  k={k}: cold={cold:7.0f}  preload={warm:7.0f}  -> {winner}")
+    # k=1: preloading loses; k>=2: preloading wins.
+    assert results[0][2] > results[0][1]
+    for k, cold, warm in results[1:]:
+        assert warm < cold, f"preload should win at k={k}"
+    # Matches the analytic break-even.
+    analytic = preload_breakeven_calls(390.0, 287.7, 7.0)
+    assert 1 < analytic < 2

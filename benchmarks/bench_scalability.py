@@ -1,0 +1,116 @@
+"""Scalability: direct access distributes load; reregistration centralizes it.
+
+"the system is scalable, since the processing load is naturally
+distributed among the subsystems" — and conversely, a reregistration
+design funnels every lookup through the one global store, whose CPU
+becomes the bottleneck.  These benches run concurrent clients against
+both designs and measure the makespan.
+"""
+
+import pytest
+
+from repro.bind import BindResolver, BindServer, ResourceRecord, RRType, Zone
+from repro.net import DatagramTransport, Internetwork
+from repro.sim import ConstantLatency, Environment
+from repro.harness.calibration import DEFAULT_CALIBRATION
+
+CAL = DEFAULT_CALIBRATION
+
+
+def _build(n_subsystems, clients_per_subsystem, centralized):
+    """Concurrent lookups; returns the makespan in simulated ms.
+
+    ``centralized=False``: each subsystem keeps its own name server and
+    its clients query it (the direct-access shape).
+    ``centralized=True``: all data is reregistered into one global
+    server that every client queries (the rejected design).
+    """
+    env = Environment(seed=101)
+    net = Internetwork(env)
+    seg = net.add_segment(latency=ConstantLatency(CAL.wire_base_ms, CAL.wire_per_byte_ms))
+    udp = DatagramTransport(net, retry_timeout_ms=100_000)
+
+    def make_zone(i):
+        zone = Zone(f"dept{i}.edu")
+        zone.add(ResourceRecord.a_record(f"host.dept{i}.edu", f"10.{i}.0.1"))
+        return zone
+
+    if centralized:
+        global_host = net.add_host("global-ns", seg)
+        server = BindServer(
+            global_host, zones=[make_zone(i) for i in range(n_subsystems)],
+            name="global",
+        )
+        endpoints = [server.listen()] * n_subsystems
+    else:
+        endpoints = []
+        for i in range(n_subsystems):
+            host = net.add_host(f"ns{i}", seg)
+            server = BindServer(host, zones=[make_zone(i)], name=f"dept{i}")
+            endpoints.append(server.listen())
+
+    done = []
+
+    def client(i, k):
+        resolver = BindResolver(
+            net.add_host(f"c{i}-{k}", seg), udp, endpoints[i],
+            name=f"r{i}-{k}",
+        )
+        address = yield from resolver.lookup_address(f"host.dept{i}.edu")
+        assert address == f"10.{i}.0.1"
+        done.append(env.now)
+
+    for i in range(n_subsystems):
+        for k in range(clients_per_subsystem):
+            env.process(client(i, k))
+    env.run()
+    assert len(done) == n_subsystems * clients_per_subsystem
+    return max(done)
+
+
+@pytest.mark.benchmark(group="scalability")
+def test_distributed_vs_centralized_load(benchmark):
+    def measure():
+        distributed = _build(8, 4, centralized=False)
+        centralized = _build(8, 4, centralized=True)
+        return distributed, centralized
+
+    distributed, centralized = benchmark(measure)
+    print(
+        f"\n32 concurrent lookups across 8 subsystems: "
+        f"distributed makespan {distributed:.0f} ms, "
+        f"centralized {centralized:.0f} ms "
+        f"({centralized / distributed:.1f}x worse)"
+    )
+    # The central store serialises everyone on one CPU.
+    assert centralized > 5 * distributed
+
+
+@pytest.mark.benchmark(group="scalability")
+def test_makespan_growth_with_system_size(benchmark):
+    """Adding subsystems (with their clients) barely moves the
+    direct-access makespan but grows the centralized one linearly."""
+
+    def measure():
+        rows = []
+        for n in (2, 8, 16):
+            rows.append(
+                (
+                    n,
+                    _build(n, 2, centralized=False),
+                    _build(n, 2, centralized=True),
+                )
+            )
+        return rows
+
+    rows = benchmark(measure)
+    print("\nsubsystems -> makespan (2 clients each):")
+    for n, distributed, centralized in rows:
+        print(
+            f"  {n:>2} subsystems: distributed {distributed:7.0f} ms, "
+            f"centralized {centralized:7.0f} ms"
+        )
+    d = [row[1] for row in rows]
+    c = [row[2] for row in rows]
+    assert d[-1] < 2 * d[0]       # direct access: ~flat
+    assert c[-1] > 5 * c[0]       # centralized: grows with the system

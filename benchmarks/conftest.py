@@ -1,0 +1,61 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure from the paper's
+evaluation, prints a paper-vs-measured comparison (run with ``-s`` to
+see it inline; values also land in ``benchmark.extra_info``), and
+asserts the reproduction tolerance recorded in EXPERIMENTS.md.
+"""
+
+import pytest
+
+from repro.core import Arrangement, HNSName
+from repro.workloads import build_stack, build_testbed
+
+FIJI = HNSName("BIND-cs", "fiji.cs.washington.edu")
+DLION = HNSName("CH-hcs", "dlion:hcs:uw")
+
+#: Table 3.1 of the paper (msec): arrangement -> (miss, HNS hit, both hit)
+PAPER_TABLE_3_1 = {
+    Arrangement.ALL_LOCAL: (460.0, 180.0, 104.0),
+    Arrangement.AGENT: (517.0, 235.0, 137.0),
+    Arrangement.REMOTE_HNS: (515.0, 232.0, 140.0),
+    Arrangement.REMOTE_NSMS: (509.0, 225.0, 147.0),
+    Arrangement.ALL_REMOTE: (547.0, 261.0, 181.0),
+}
+
+#: Table 3.2 of the paper (msec): records -> (miss, marshalled hit,
+#: demarshalled hit)
+PAPER_TABLE_3_2 = {1: (20.23, 11.11, 0.83), 6: (32.34, 26.17, 1.22)}
+
+
+def run(env, gen):
+    return env.run(until=env.process(gen))
+
+
+def timed(env, gen):
+    """Run a process; return elapsed simulated ms."""
+    start = env.now
+    run(env, gen)
+    return env.now - start
+
+
+def measure_table_3_1_row(arrangement, seed=3):
+    """(miss, hns_hit, both_hit) simulated ms for one arrangement."""
+    testbed = build_testbed(seed=seed)
+    stack = build_stack(testbed, arrangement)
+    env = testbed.env
+
+    def one_import():
+        return stack.importer.import_binding("DesiredService", FIJI)
+
+    stack.flush_all_caches()
+    a = timed(env, one_import())
+    stack.flush_nsm_caches()
+    b = timed(env, one_import())
+    c = timed(env, one_import())
+    return a, b, c
+
+
+@pytest.fixture
+def fresh_testbed():
+    return build_testbed(seed=17)

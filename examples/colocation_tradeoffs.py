@@ -1,0 +1,75 @@
+"""Colocation tradeoffs: Table 3.1 and equation (1), interactively.
+
+Measures all five client/HNS/NSM placements under the three cache
+states, prints the grid next to the paper's numbers, and then runs the
+equation (1) arithmetic to answer the paper's closing question: when is
+a shared remote HNS (or NSM) worth the extra call?
+
+Run:  python examples/colocation_tradeoffs.py
+"""
+
+from repro.core import Arrangement, ColocationModel, HNSName
+from repro.workloads import build_stack, build_testbed
+
+PAPER = {
+    Arrangement.ALL_LOCAL: (460, 180, 104),
+    Arrangement.AGENT: (517, 235, 137),
+    Arrangement.REMOTE_HNS: (515, 232, 140),
+    Arrangement.REMOTE_NSMS: (509, 225, 147),
+    Arrangement.ALL_REMOTE: (547, 261, 181),
+}
+
+NAME = HNSName("BIND-cs", "fiji.cs.washington.edu")
+
+
+def measure(arrangement):
+    testbed = build_testbed(seed=5)
+    stack = build_stack(testbed, arrangement)
+    env = testbed.env
+
+    def one():
+        start = env.now
+        yield from stack.importer.import_binding("DesiredService", NAME)
+        return env.now - start
+
+    def timed():
+        return env.run(until=env.process(one()))
+
+    stack.flush_all_caches()
+    return timed(), (stack.flush_nsm_caches() or timed()), timed()
+
+
+def main() -> None:
+    print("Table 3.1 — HRPC binding by colocation arrangement (simulated ms)")
+    print(f"{'arrangement':<24} {'A miss':>16} {'B HNS hit':>16} {'C both hit':>16}")
+    grid = {}
+    for arrangement in Arrangement:
+        cells = measure(arrangement)
+        grid[arrangement] = cells
+        row = f"{arrangement.label:<24}"
+        for measured, paper in zip(cells, PAPER[arrangement]):
+            row += f"  {measured:6.0f} (p={paper:3d})"
+        print(row)
+
+    print("\nEquation (1): extra cache-hit fraction a remote placement needs")
+    remote_call = 34.2
+    hns_model = ColocationModel(
+        remote_call,
+        cache_miss_ms=grid[Arrangement.ALL_REMOTE][0],
+        cache_hit_ms=grid[Arrangement.ALL_REMOTE][1],
+    )
+    nsm_model = ColocationModel(
+        remote_call,
+        cache_miss_ms=grid[Arrangement.REMOTE_NSMS][1],
+        cache_hit_ms=grid[Arrangement.REMOTE_NSMS][2],
+    )
+    print(f"  remote HNS needs  q > {100 * hns_model.q_threshold():5.1f}%   (paper: ~11%)")
+    print(f"  remote NSMs need  q > {100 * nsm_model.q_threshold():5.1f}%   (paper: ~42%)")
+    print(
+        "\nLesson (verbatim from the paper): 'the potential benefit of "
+        "caching far\nexceeds that obtainable solely by colocation.'"
+    )
+
+
+if __name__ == "__main__":
+    main()

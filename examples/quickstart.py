@@ -1,0 +1,55 @@
+"""Quickstart: bind to a service through the HNS and call it.
+
+Stands up the simulated HCS testbed (one Ethernet, a modified meta-BIND,
+a public BIND, a Clearinghouse, a Sun host and a Xerox host), then does
+what the paper's client does:
+
+    Import(ServiceName: "DesiredService",
+           HostName:    "BIND, fiji.cs.washington.edu",
+           ResultBinding: DesiredBinding)
+
+and finally calls the imported binding through HRPC.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import Arrangement, HNSName
+from repro.hrpc import HrpcRuntime
+from repro.workloads import build_stack, build_testbed
+
+
+def main() -> None:
+    # 1. The environment: every server, zone, and meta registration.
+    testbed = build_testbed(seed=1)
+    env = testbed.env
+
+    # 2. A client stack: here everything linked into the client process
+    #    (Table 3.1 row 1); see colocation_tradeoffs.py for the others.
+    stack = build_stack(testbed, Arrangement.ALL_LOCAL)
+
+    # 3. The global name of the target host: context + individual name.
+    name = HNSName("BIND-cs", "fiji.cs.washington.edu")
+
+    def client() :
+        start = env.now
+        binding = yield from stack.importer.import_binding(
+            "DesiredService", name
+        )
+        first_ms = env.now - start
+        print(f"imported {binding.describe()}")
+        print(f"  first import (cold caches): {first_ms:7.1f} simulated ms")
+
+        start = env.now
+        yield from stack.importer.import_binding("DesiredService", name)
+        print(f"  second import (warm caches): {env.now - start:6.1f} simulated ms")
+
+        # 4. Use the binding: a real HRPC call to the Sun RPC server.
+        runtime = HrpcRuntime(testbed.client, testbed.internet)
+        reply = yield from runtime.call(binding, "ping", "hello, 1987")
+        print(f"  called the service: reply = {reply!r}")
+
+    env.run(until=env.process(client()))
+
+
+if __name__ == "__main__":
+    main()

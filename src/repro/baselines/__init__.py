@@ -1,0 +1,14 @@
+"""Baseline binding schemes the paper compares against.
+
+- :class:`LocalFileBinder` — the interim HRPC binding mechanism,
+  "based on information reregistered in replicated local files"
+  (200 ms per binding, plus an unending replication cost).
+- :class:`ReregistrationBinder` — "a scheme in which a name service
+  holds all of the (reregistered) data", implemented on the
+  Clearinghouse (166 ms) and, hypothetically, on BIND.
+"""
+
+from repro.baselines.localfile_binding import LocalFileBinder
+from repro.baselines.reregistration import ReregistrationBinder
+
+__all__ = ["LocalFileBinder", "ReregistrationBinder"]

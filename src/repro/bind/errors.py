@@ -1,0 +1,31 @@
+"""BIND error types, mirroring DNS RCODEs where sensible."""
+
+
+class BindError(Exception):
+    """Base class for name-service failures."""
+
+    rcode = 2  # SERVFAIL
+
+
+class NameNotFound(BindError):
+    """NXDOMAIN: the queried name/type does not exist."""
+
+    rcode = 3
+
+
+class NotAuthoritative(BindError):
+    """The server is not authoritative for the queried zone."""
+
+    rcode = 9
+
+
+class UpdateRefused(BindError):
+    """Dynamic update sent to a server without the HNS modification."""
+
+    rcode = 5
+
+
+class ZoneNotFound(BindError):
+    """Zone transfer requested for an unknown zone."""
+
+    rcode = 3

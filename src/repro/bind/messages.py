@@ -1,0 +1,235 @@
+"""BIND protocol messages and their IDL descriptions.
+
+Messages travel through the simulated transports as Python objects; the
+IDL descriptions here let clients and servers produce *real wire bytes*
+for them, so message sizes (and therefore wire and marshalling costs)
+are grounded rather than guessed.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.bind.names import DomainName
+from repro.bind.rr import ResourceRecord, RRType
+from repro.serial import (
+    ArrayType,
+    OpaqueType,
+    StringType,
+    StructType,
+    U32Type,
+)
+
+# Status codes (DNS RCODE subset).
+STATUS_OK = 0
+STATUS_SERVFAIL = 2
+STATUS_NXDOMAIN = 3
+STATUS_REFUSED = 5
+
+# ----------------------------------------------------------------------
+# IDL descriptions (shared by conventional and HRPC-generated clients)
+# ----------------------------------------------------------------------
+RR_IDL = StructType(
+    "ResourceRecord",
+    [
+        ("name", StringType(255)),
+        ("rtype", U32Type()),
+        ("rclass", U32Type()),
+        ("ttl", U32Type()),
+        ("data", OpaqueType(256)),
+    ],
+)
+
+QUERY_REQUEST_IDL = StructType(
+    "QueryRequest",
+    [("name", StringType(255)), ("rtype", U32Type())],
+)
+
+QUERY_RESPONSE_IDL = StructType(
+    "QueryResponse",
+    [("status", U32Type()), ("records", ArrayType(RR_IDL, 64))],
+)
+
+UPDATE_REQUEST_IDL = StructType(
+    "UpdateRequest",
+    [
+        ("mode", U32Type()),
+        ("name", StringType(255)),
+        ("rtype", U32Type()),
+        ("records", ArrayType(RR_IDL, 64)),
+    ],
+)
+
+UPDATE_RESPONSE_IDL = StructType(
+    "UpdateResponse",
+    [("status", U32Type()), ("serial", U32Type())],
+)
+
+XFER_REQUEST_IDL = StructType("XferRequest", [("origin", StringType(255))])
+
+SERIAL_REQUEST_IDL = StructType("SerialRequest", [("origin", StringType(255))])
+
+SERIAL_RESPONSE_IDL = StructType(
+    "SerialResponse", [("status", U32Type()), ("serial", U32Type())]
+)
+
+XFER_RESPONSE_IDL = StructType(
+    "XferResponse",
+    [
+        ("status", U32Type()),
+        ("serial", U32Type()),
+        ("records", ArrayType(RR_IDL, 4096)),
+    ],
+)
+
+
+def rr_to_idl(record: ResourceRecord) -> dict:
+    """Resource record -> IDL dict value."""
+    return {
+        "name": str(record.name),
+        "rtype": record.rtype.value,
+        "rclass": 1,
+        "ttl": int(record.ttl),
+        "data": record.data,
+    }
+
+
+def rr_from_idl(value: typing.Mapping[str, object]) -> ResourceRecord:
+    """IDL dict value -> resource record."""
+    return ResourceRecord(
+        name=DomainName(typing.cast(str, value["name"])),
+        rtype=RRType(value["rtype"]),
+        ttl=float(typing.cast(int, value["ttl"])),
+        data=typing.cast(bytes, value["data"]),
+    )
+
+
+# ----------------------------------------------------------------------
+# Message dataclasses
+# ----------------------------------------------------------------------
+@dataclasses.dataclass
+class QueryRequest:
+    """A lookup for (name, record type)."""
+    name: DomainName
+    rtype: RRType
+
+    def to_idl(self) -> dict:
+        return {"name": str(self.name), "rtype": self.rtype.value}
+
+    idl_type = QUERY_REQUEST_IDL
+
+
+@dataclasses.dataclass
+class QueryResponse:
+    """Status plus the matching resource records."""
+    status: int
+    records: typing.List[ResourceRecord]
+
+    def to_idl(self) -> dict:
+        return {
+            "status": self.status,
+            "records": [rr_to_idl(r) for r in self.records],
+        }
+
+    @classmethod
+    def from_idl(cls, value: typing.Mapping[str, object]) -> "QueryResponse":
+        return cls(
+            status=typing.cast(int, value["status"]),
+            records=[rr_from_idl(v) for v in typing.cast(list, value["records"])],
+        )
+
+    idl_type = QUERY_RESPONSE_IDL
+
+
+class UpdateMode:
+    """Dynamic-update operations (add / delete / replace)."""
+    ADD = 1
+    DELETE = 2
+    REPLACE = 3
+
+
+@dataclasses.dataclass
+class UpdateRequest:
+    """A dynamic update (requires the modified BIND)."""
+    mode: int
+    name: DomainName
+    rtype: RRType
+    records: typing.List[ResourceRecord]
+
+    def to_idl(self) -> dict:
+        return {
+            "mode": self.mode,
+            "name": str(self.name),
+            "rtype": self.rtype.value,
+            "records": [rr_to_idl(r) for r in self.records],
+        }
+
+    idl_type = UPDATE_REQUEST_IDL
+
+
+@dataclasses.dataclass
+class UpdateResponse:
+    """Update outcome plus the zone's new serial."""
+    status: int
+    serial: int
+
+    def to_idl(self) -> dict:
+        return {"status": self.status, "serial": self.serial}
+
+    idl_type = UPDATE_RESPONSE_IDL
+
+
+@dataclasses.dataclass
+class XferRequest:
+    """AXFR: ask for the whole zone."""
+    origin: DomainName
+
+    def to_idl(self) -> dict:
+        return {"origin": str(self.origin)}
+
+    idl_type = XFER_REQUEST_IDL
+
+
+@dataclasses.dataclass
+class SerialRequest:
+    """SOA-style probe: what is the zone's current serial?
+
+    Secondaries use this to skip the full transfer when nothing changed.
+    """
+
+    origin: DomainName
+
+    def to_idl(self) -> dict:
+        return {"origin": str(self.origin)}
+
+    idl_type = SERIAL_REQUEST_IDL
+
+
+@dataclasses.dataclass
+class SerialResponse:
+    """The zone's current SOA serial."""
+    status: int
+    serial: int
+
+    def to_idl(self) -> dict:
+        return {"status": self.status, "serial": self.serial}
+
+    idl_type = SERIAL_RESPONSE_IDL
+
+
+@dataclasses.dataclass
+class XferResponse:
+    """AXFR answer: serial plus every record of the zone."""
+    status: int
+    serial: int
+    records: typing.List[ResourceRecord]
+
+    def to_idl(self) -> dict:
+        return {
+            "status": self.status,
+            "serial": self.serial,
+            "records": [rr_to_idl(r) for r in self.records],
+        }
+
+    idl_type = XFER_RESPONSE_IDL

@@ -1,0 +1,133 @@
+"""Secondary (replica) BIND servers.
+
+"While the HNS is logically a single, centralized facility, its
+implementation must be distributed and replicated for the usual reasons
+of performance, availability, and scalability.  Because the
+implementation problems associated with these properties are for the
+most part successfully addressed in previous name services, we chose to
+ease our implementation effort by making use of an existing name
+service" — i.e. BIND's own primary/secondary replication, driven by the
+zone-transfer mechanism.
+
+A :class:`SecondaryBindServer` answers queries and zone transfers from
+its replica zones, refuses dynamic updates (only the primary accepts
+those), and runs a refresh process: every ``refresh_ms`` it probes the
+primary's SOA serial and pulls a full AXFR only when the serial moved.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.bind.messages import (
+    STATUS_OK,
+    SerialRequest,
+    SerialResponse,
+)
+from repro.bind.names import DomainName
+from repro.bind.resolver import BindResolver
+from repro.bind.server import BindServer
+from repro.bind.zone import Zone
+from repro.harness.calibration import Calibration, DEFAULT_CALIBRATION
+from repro.net.addresses import Endpoint
+from repro.net.errors import NetworkError
+from repro.net.host import Host
+from repro.net.transport import RemoteCallError, Transport
+
+
+class SecondaryBindServer(BindServer):
+    """A replica server refreshed from a primary by zone transfer."""
+
+    def __init__(
+        self,
+        host: Host,
+        primary: Endpoint,
+        origins: typing.Sequence[typing.Union[str, DomainName]],
+        transport: Transport,
+        refresh_ms: float = 60_000.0,
+        lookup_cost_ms: typing.Optional[float] = None,
+        calibration: Calibration = DEFAULT_CALIBRATION,
+        name: str = "",
+    ):
+        if refresh_ms <= 0:
+            raise ValueError("refresh interval must be positive")
+        super().__init__(
+            host,
+            zones=[Zone(origin) for origin in origins],
+            lookup_cost_ms=lookup_cost_ms,
+            allow_dynamic_update=False,  # secondaries never take updates
+            calibration=calibration,
+            name=name or f"bind2@{host.name}",
+        )
+        self.primary = primary
+        self.transport = transport
+        self.refresh_ms = refresh_ms
+        self.replica_serials: typing.Dict[DomainName, int] = {
+            zone.origin: 0 for zone in self.zones
+        }
+        self._resolver = BindResolver(
+            host, transport, primary, calibration=calibration,
+            name=f"{self.name}.xfer",
+        )
+        self._refresh_process = None
+
+    # ------------------------------------------------------------------
+    def start_refresh(self):
+        """Begin the periodic refresh loop (a simulation process)."""
+        if self._refresh_process is not None and self._refresh_process.is_alive:
+            raise RuntimeError(f"{self.name}: refresh already running")
+        self._refresh_process = self.env.process(
+            self._refresh_loop(), name=f"{self.name}.refresh"
+        )
+        return self._refresh_process
+
+    def _refresh_loop(self):
+        while True:
+            yield from self.refresh_once()
+            yield self.env.timeout(self.refresh_ms)
+
+    def refresh_once(self) -> typing.Generator:
+        """One refresh pass over all replica zones; returns zones pulled."""
+        pulled = 0
+        for zone in self.zones:
+            try:
+                changed = yield from self._refresh_zone(zone)
+            except (NetworkError, RemoteCallError):
+                # Primary unreachable: keep serving the last good copy.
+                self.env.stats.counter(f"bind.{self.name}.refresh_failures").increment()
+                continue
+            if changed:
+                pulled += 1
+        return pulled
+
+    def _refresh_zone(self, zone: Zone) -> typing.Generator:
+        """SOA-serial probe, then AXFR only if the primary moved on."""
+        request = SerialRequest(zone.origin)
+        reply = yield from self.transport.request(
+            self.host, self.primary, request, 48
+        )
+        if not isinstance(reply, SerialResponse) or reply.status != STATUS_OK:
+            return False
+        if reply.serial <= self.replica_serials[zone.origin]:
+            self.env.stats.counter(f"bind.{self.name}.refresh_skips").increment()
+            return False
+        serial, records = yield from self._resolver.zone_transfer(zone.origin)
+        # Install the fresh copy atomically.
+        fresh = Zone(zone.origin, default_ttl=zone.default_ttl)
+        for record in records:
+            fresh.add(record)
+        index = self.zones.index(zone)
+        self.zones[index] = fresh
+        self.replica_serials[zone.origin] = serial
+        self.env.stats.counter(f"bind.{self.name}.refreshes").increment()
+        self.env.trace.emit(
+            "bind",
+            f"{self.name}: refreshed {zone.origin} to serial {serial} "
+            f"({len(records)} records)",
+        )
+        return True
+
+    @property
+    def is_synchronized(self) -> bool:
+        """True once every replica zone has been pulled at least once."""
+        return all(serial > 0 for serial in self.replica_serials.values())

@@ -1,0 +1,220 @@
+"""The BIND server process.
+
+One class serves both roles from the paper:
+
+- a **public** BIND holding actual naming data (construct with default
+  flags and ``lookup_cost_ms=Calibration.public_bind_lookup_ms``); and
+- the **modified** BIND used as the HNS meta-naming repository
+  (``allow_dynamic_update=True`` and a small dedicated-zone lookup
+  cost), "a version of BIND, modified to support both dynamic updates
+  and also data of unspecified type [Schwartz 1987]".
+
+The server answers queries, dynamic updates, and zone-transfer (AXFR)
+requests.  Errors travel as status codes, as in DNS, so a missing name
+is an answer, not a crashed call.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.bind.errors import NameNotFound
+from repro.bind.messages import (
+    STATUS_NXDOMAIN,
+    STATUS_OK,
+    STATUS_REFUSED,
+    STATUS_SERVFAIL,
+    QueryRequest,
+    QueryResponse,
+    SerialRequest,
+    SerialResponse,
+    UpdateMode,
+    UpdateRequest,
+    UpdateResponse,
+    XferRequest,
+    XferResponse,
+)
+from repro.bind.names import DomainName
+from repro.bind.zone import Zone
+from repro.harness.calibration import Calibration, DEFAULT_CALIBRATION
+from repro.net.addresses import WELL_KNOWN_PORTS, Endpoint
+from repro.net.host import Host, Service
+from repro.serial import HandcodedMarshaller
+from repro.serial.idl import IdlType
+
+
+class BindServer(Service):
+    """An authoritative name server bound to a host."""
+
+    def __init__(
+        self,
+        host: Host,
+        zones: typing.Optional[typing.Sequence[Zone]] = None,
+        lookup_cost_ms: typing.Optional[float] = None,
+        allow_dynamic_update: bool = False,
+        allow_zone_transfer: bool = True,
+        calibration: Calibration = DEFAULT_CALIBRATION,
+        name: str = "",
+    ):
+        self.host = host
+        self.env = host.env
+        self.calibration = calibration
+        self.name = name or f"bind@{host.name}"
+        self.zones: typing.List[Zone] = list(zones or [])
+        self.lookup_cost_ms = (
+            lookup_cost_ms
+            if lookup_cost_ms is not None
+            else calibration.public_bind_lookup_ms
+        )
+        self.allow_dynamic_update = allow_dynamic_update
+        self.allow_zone_transfer = allow_zone_transfer
+        # Server-side marshalling uses the standard (hand-coded) BIND
+        # routines regardless of what the client uses.
+        self._marshallers: typing.Dict[int, HandcodedMarshaller] = {}
+        self.endpoint: typing.Optional[Endpoint] = None
+
+    # ------------------------------------------------------------------
+    def listen(self, port: int = WELL_KNOWN_PORTS["bind"]) -> Endpoint:
+        """Bind to ``port`` on the server's host."""
+        self.endpoint = self.host.bind(port, self)
+        return self.endpoint
+
+    def add_zone(self, zone: Zone) -> None:
+        if any(z.origin == zone.origin for z in self.zones):
+            raise ValueError(f"duplicate zone {zone.origin}")
+        self.zones.append(zone)
+
+    def zone_for(self, name: DomainName) -> typing.Optional[Zone]:
+        """Longest-match authoritative zone for ``name``."""
+        best: typing.Optional[Zone] = None
+        for zone in self.zones:
+            if name.is_subdomain_of(zone.origin):
+                if best is None or len(zone.origin.labels) > len(best.origin.labels):
+                    best = zone
+        return best
+
+    def zone_named(self, origin: DomainName) -> typing.Optional[Zone]:
+        for zone in self.zones:
+            if zone.origin == origin:
+                return zone
+        return None
+
+    # ------------------------------------------------------------------
+    def _marshaller(self, idl_type: IdlType) -> HandcodedMarshaller:
+        key = id(idl_type)
+        if key not in self._marshallers:
+            self._marshallers[key] = HandcodedMarshaller(idl_type)
+        return self._marshallers[key]
+
+    def _encode_reply(self, message) -> typing.Tuple[object, int, float]:
+        data = self._marshaller(message.idl_type).encode(message.to_idl())
+        return message, len(data[0]), data[1]
+
+    # ------------------------------------------------------------------
+    # Service interface
+    # ------------------------------------------------------------------
+    def handle(self, datagram, responder):
+        request = datagram.payload
+        if isinstance(request, QueryRequest):
+            yield from self._handle_query(request, responder)
+        elif isinstance(request, UpdateRequest):
+            yield from self._handle_update(request, responder)
+        elif isinstance(request, XferRequest):
+            yield from self._handle_xfer(request, responder)
+        elif isinstance(request, SerialRequest):
+            yield from self._handle_serial(request, responder)
+        else:
+            reply, size, cost = self._encode_reply(
+                QueryResponse(STATUS_SERVFAIL, [])
+            )
+            yield from self.host.cpu.compute(cost)
+            responder(reply, size)
+
+    def _handle_query(self, request: QueryRequest, responder):
+        self.env.stats.counter(f"bind.{self.name}.queries").increment()
+        # In-memory database walk: the calibrated fixed per-query cost.
+        yield from self.host.cpu.compute(self.lookup_cost_ms)
+        zone = self.zone_for(request.name)
+        if zone is None:
+            reply = QueryResponse(STATUS_NXDOMAIN, [])
+        else:
+            try:
+                records = zone.lookup(request.name, request.rtype)
+                reply = QueryResponse(STATUS_OK, records)
+            except NameNotFound:
+                reply = QueryResponse(STATUS_NXDOMAIN, [])
+        reply, size, marshal_cost = self._encode_reply(reply)
+        yield from self.host.cpu.compute(marshal_cost)
+        self.env.trace.emit(
+            "bind",
+            f"{self.name}: {request.name} {request.rtype} -> "
+            f"{'OK' if reply.status == STATUS_OK else 'NXDOMAIN'}",
+            records=len(reply.records),
+        )
+        responder(reply, size)
+
+    def _handle_update(self, request: UpdateRequest, responder):
+        self.env.stats.counter(f"bind.{self.name}.updates").increment()
+        yield from self.host.cpu.compute(self.lookup_cost_ms)
+        zone = self.zone_for(request.name)
+        if not self.allow_dynamic_update:
+            reply = UpdateResponse(STATUS_REFUSED, 0)
+        elif zone is None:
+            reply = UpdateResponse(STATUS_NXDOMAIN, 0)
+        else:
+            if request.mode == UpdateMode.ADD:
+                for record in request.records:
+                    zone.add(record)
+            elif request.mode == UpdateMode.DELETE:
+                zone.remove(request.name, request.rtype)
+            elif request.mode == UpdateMode.REPLACE:
+                zone.replace(request.name, request.rtype, request.records)
+            else:
+                reply = UpdateResponse(STATUS_SERVFAIL, zone.serial)
+                reply, size, cost = self._encode_reply(reply)
+                yield from self.host.cpu.compute(cost)
+                responder(reply, size)
+                return
+            reply = UpdateResponse(STATUS_OK, zone.serial)
+        reply, size, cost = self._encode_reply(reply)
+        yield from self.host.cpu.compute(cost)
+        responder(reply, size)
+
+    def _handle_xfer(self, request: XferRequest, responder):
+        self.env.stats.counter(f"bind.{self.name}.xfers").increment()
+        zone = self.zone_named(request.origin)
+        if not self.allow_zone_transfer or zone is None:
+            reply, size, cost = self._encode_reply(
+                XferResponse(STATUS_REFUSED if zone else STATUS_NXDOMAIN, 0, [])
+            )
+            yield from self.host.cpu.compute(cost)
+            responder(reply, size)
+            return
+        records = zone.all_records()
+        # Streaming the zone costs setup plus a per-record charge.
+        yield from self.host.cpu.compute(
+            self.calibration.xfer_setup_ms
+            + self.calibration.xfer_per_record_ms * len(records)
+        )
+        reply, size, cost = self._encode_reply(
+            XferResponse(STATUS_OK, zone.serial, records)
+        )
+        yield from self.host.cpu.compute(cost)
+        responder(reply, size)
+
+    def _handle_serial(self, request: SerialRequest, responder):
+        """Cheap SOA-serial probe used by secondaries before an AXFR."""
+        zone = self.zone_named(request.origin)
+        # A serial probe is a single in-memory read, not a full lookup.
+        yield from self.host.cpu.compute(1.0)
+        if zone is None:
+            reply = SerialResponse(STATUS_NXDOMAIN, 0)
+        else:
+            reply = SerialResponse(STATUS_OK, zone.serial)
+        reply, size, cost = self._encode_reply(reply)
+        yield from self.host.cpu.compute(cost)
+        responder(reply, size)
+
+    def describe(self) -> str:
+        zones = ", ".join(str(z.origin) for z in self.zones)
+        return f"BindServer({self.name}; zones: {zones})"

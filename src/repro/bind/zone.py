@@ -1,0 +1,104 @@
+"""Authoritative zones with SOA serial numbers.
+
+A zone maps (owner name, record type) to record sets.  Dynamic updates
+— the HNS modification to BIND — bump the SOA serial, which secondary
+servers and the cache-preload mechanism use to detect staleness.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.bind.errors import NameNotFound
+from repro.bind.names import DomainName
+from repro.bind.rr import ResourceRecord, RRType
+
+
+class Zone:
+    """All authoritative data under one origin."""
+
+    def __init__(self, origin: typing.Union[str, DomainName], default_ttl: float = 3_600_000):
+        if default_ttl < 0:
+            raise ValueError("default TTL must be non-negative")
+        self.origin = DomainName(origin)
+        self.default_ttl = default_ttl
+        self.serial = 1
+        self._records: typing.Dict[
+            typing.Tuple[DomainName, RRType], typing.List[ResourceRecord]
+        ] = {}
+
+    # ------------------------------------------------------------------
+    def _check_in_zone(self, name: DomainName) -> None:
+        if not name.is_subdomain_of(self.origin):
+            raise ValueError(f"{name} is outside zone {self.origin}")
+
+    def add(self, record: ResourceRecord) -> None:
+        """Add one record (duplicates by exact data are collapsed)."""
+        self._check_in_zone(record.name)
+        key = (record.name, record.rtype)
+        existing = self._records.setdefault(key, [])
+        if any(r.data == record.data for r in existing):
+            # Same data: treat as a TTL refresh.
+            self._records[key] = [
+                record if r.data == record.data else r for r in existing
+            ]
+        else:
+            existing.append(record)
+        self.serial += 1
+
+    def remove(self, name: typing.Union[str, DomainName], rtype: RRType) -> int:
+        """Delete all records for (name, type); returns how many."""
+        name = DomainName(name)
+        removed = self._records.pop((name, rtype), [])
+        if removed:
+            self.serial += 1
+        return len(removed)
+
+    def replace(
+        self, name: typing.Union[str, DomainName], rtype: RRType, records: typing.Sequence[ResourceRecord]
+    ) -> None:
+        """Atomically replace the record set for (name, type)."""
+        name = DomainName(name)
+        self._check_in_zone(name)
+        for record in records:
+            if record.name != name or record.rtype is not rtype:
+                raise ValueError(f"{record} does not belong to ({name}, {rtype})")
+        if records:
+            self._records[(name, rtype)] = list(records)
+        else:
+            self._records.pop((name, rtype), None)
+        self.serial += 1
+
+    def lookup(
+        self, name: typing.Union[str, DomainName], rtype: RRType
+    ) -> typing.List[ResourceRecord]:
+        """Exact-match lookup; raises :class:`NameNotFound` on miss."""
+        name = DomainName(name)
+        records = self._records.get((name, rtype))
+        if not records:
+            raise NameNotFound(f"{name} {rtype} in zone {self.origin}")
+        return list(records)
+
+    def contains(self, name: typing.Union[str, DomainName], rtype: RRType) -> bool:
+        return (DomainName(name), rtype) in self._records
+
+    def names(self) -> typing.Set[DomainName]:
+        return {name for name, _ in self._records}
+
+    def all_records(self) -> typing.List[ResourceRecord]:
+        """Every record in the zone, in stable order (for AXFR)."""
+        out: typing.List[ResourceRecord] = []
+        for key in sorted(self._records, key=lambda k: (k[0], k[1].value)):
+            out.extend(self._records[key])
+        return out
+
+    @property
+    def record_count(self) -> int:
+        return sum(len(v) for v in self._records.values())
+
+    def wire_size(self) -> int:
+        """Approximate transfer size of the whole zone (bytes)."""
+        return sum(r.wire_size() for r in self.all_records())
+
+    def __repr__(self) -> str:
+        return f"<Zone {self.origin} serial={self.serial} records={self.record_count}>"

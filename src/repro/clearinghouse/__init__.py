@@ -1,0 +1,40 @@
+"""Clearinghouse substrate: the Xerox name service.
+
+The Clearinghouse [Oppen & Dalal 1983] serves the Xerox D-machine
+(XDE) side of the HCS testbed.  Two properties matter to the paper's
+measurements, and both are modelled here:
+
+- "each access is authenticated" — every request verifies credentials,
+  costing CPU plus a disk access to the credential database; and
+- "virtually all data is retrieved from disk" — property values live on
+  the simulated disk, not in primary memory.
+
+Together these make a Clearinghouse lookup ~156 ms where BIND takes 27.
+Names are three-part ``object:domain:organization`` structures with
+property lists, and the wire format is Courier, not XDR.
+"""
+
+from repro.clearinghouse.names import CHName
+from repro.clearinghouse.database import PropertyDatabase
+from repro.clearinghouse.auth import Credentials, CredentialStore
+from repro.clearinghouse.errors import (
+    AuthenticationFailed,
+    CHError,
+    NoSuchObject,
+    NoSuchProperty,
+)
+from repro.clearinghouse.server import ClearinghouseServer
+from repro.clearinghouse.client import ClearinghouseClient
+
+__all__ = [
+    "AuthenticationFailed",
+    "CHError",
+    "CHName",
+    "ClearinghouseClient",
+    "ClearinghouseServer",
+    "CredentialStore",
+    "Credentials",
+    "NoSuchObject",
+    "NoSuchProperty",
+    "PropertyDatabase",
+]

@@ -1,0 +1,25 @@
+"""Clearinghouse failure modes."""
+
+
+class CHError(Exception):
+    """Base class for Clearinghouse failures."""
+
+    status = 1
+
+
+class AuthenticationFailed(CHError):
+    """Credentials missing, unknown, or wrong."""
+
+    status = 2
+
+
+class NoSuchObject(CHError):
+    """The three-part name is not registered."""
+
+    status = 3
+
+
+class NoSuchProperty(CHError):
+    """The object exists but lacks the requested property."""
+
+    status = 4

@@ -1,0 +1,198 @@
+"""Command-line interface: poke the simulated HNS from a shell.
+
+Usage (after ``pip install -e .``)::
+
+    python -m repro.cli import DesiredService "BIND-cs::fiji.cs.washington.edu"
+    python -m repro.cli resolve "CH-hcs::levy:hcs:uw" MailboxLocation
+    python -m repro.cli table31
+    python -m repro.cli trace PrintService "CH-hcs::dlion:hcs:uw"
+
+Every command stands up the canned HCS testbed, performs the requested
+operation in simulated time, and prints what the paper's user would
+have seen.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import typing
+
+from repro.core import Arrangement, HNSName, LocalNsmBinding
+from repro.workloads import build_stack, build_testbed
+
+
+def _stack_with_all_nsms(testbed):
+    """An ALL_LOCAL stack plus every NSM type linked in."""
+    stack = build_stack(testbed, Arrangement.ALL_LOCAL)
+    extra = [
+        testbed.make_ch_binding_nsm(testbed.client),
+        testbed.make_bind_hostaddr_nsm(testbed.client),
+        testbed.make_ch_hostaddr_nsm(testbed.client),
+        testbed.make_bind_mail_nsm(testbed.client),
+        testbed.make_ch_mail_nsm(testbed.client),
+        testbed.make_bind_file_nsm(testbed.client),
+        testbed.make_ch_file_nsm(testbed.client),
+    ]
+    for nsm in extra:
+        stack.hns.link_local_nsm(nsm)
+        stack.importer.nsm_stub.link_local(nsm)
+    return stack
+
+
+def cmd_import(args: argparse.Namespace) -> int:
+    """``import``: HRPC Import through the HNS."""
+    testbed = build_testbed(seed=args.seed)
+    stack = _stack_with_all_nsms(testbed)
+    env = testbed.env
+    name = HNSName.parse(args.hns_name)
+
+    def do():
+        start = env.now
+        binding = yield from stack.importer.import_binding(args.service, name)
+        return binding, env.now - start
+
+    binding, elapsed = env.run(until=env.process(do()))
+    print(binding.describe())
+    print(f"resolved in {elapsed:.1f} simulated ms (cold caches)")
+    return 0
+
+
+def cmd_resolve(args: argparse.Namespace) -> int:
+    """``resolve``: FindNSM plus the NSM query."""
+    testbed = build_testbed(seed=args.seed)
+    stack = _stack_with_all_nsms(testbed)
+    env = testbed.env
+    name = HNSName.parse(args.hns_name)
+    params: typing.Dict[str, object] = {}
+    if args.service:
+        params["service"] = args.service
+
+    def do():
+        start = env.now
+        nsm_binding = yield from stack.hns.find_nsm(name, args.query_class)
+        which = (
+            nsm_binding.nsm.name
+            if isinstance(nsm_binding, LocalNsmBinding)
+            else nsm_binding.program
+        )
+        result = yield from stack.importer.nsm_stub.call(
+            nsm_binding, name, **params
+        )
+        return which, result, env.now - start
+
+    which, result, elapsed = env.run(until=env.process(do()))
+    print(f"NSM:    {which}")
+    for field, value in sorted(result.value.items(), key=lambda kv: kv[0]):
+        print(f"{field + ':':<8}{value}")
+    print(f"[{elapsed:.1f} simulated ms, cold caches]")
+    return 0
+
+
+def cmd_table31(args: argparse.Namespace) -> int:
+    """``table31``: regenerate Table 3.1 against the paper."""
+    from repro.harness import ComparisonTable
+
+    paper = {
+        Arrangement.ALL_LOCAL: (460, 180, 104),
+        Arrangement.AGENT: (517, 235, 137),
+        Arrangement.REMOTE_HNS: (515, 232, 140),
+        Arrangement.REMOTE_NSMS: (509, 225, 147),
+        Arrangement.ALL_REMOTE: (547, 261, 181),
+    }
+    table = ComparisonTable("Table 3.1: HRPC binding by colocation (msec)")
+    name = HNSName("BIND-cs", "fiji.cs.washington.edu")
+    for arrangement in Arrangement:
+        testbed = build_testbed(seed=args.seed)
+        stack = build_stack(testbed, arrangement)
+        env = testbed.env
+
+        def timed():
+            start = env.now
+            yield from stack.importer.import_binding("DesiredService", name)
+            return env.now - start
+
+        stack.flush_all_caches()
+        a = env.run(until=env.process(timed()))
+        stack.flush_nsm_caches()
+        b = env.run(until=env.process(timed()))
+        c = env.run(until=env.process(timed()))
+        for label, p, m in zip(("miss", "HNS hit", "both hit"), paper[arrangement], (a, b, c)):
+            table.add(f"{arrangement.label} / {label}", p, m)
+    print(table.render())
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    """``trace``: a traced Import (Figure 2.1 style)."""
+    testbed = build_testbed(seed=args.seed)
+    stack = _stack_with_all_nsms(testbed)
+    env = testbed.env
+    env.trace.enabled = True
+    name = HNSName.parse(args.hns_name)
+
+    def do():
+        binding = yield from stack.importer.import_binding(args.service, name)
+        return binding
+
+    binding = env.run(until=env.process(do()))
+    for record in env.trace.records:
+        print(record)
+    print(f"=> {binding.describe()}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse command tree."""
+    parser = argparse.ArgumentParser(
+        prog="repro.cli",
+        description="Drive the simulated HCS Name Service (SOSP 1987 reproduction).",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="simulation seed")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_import = sub.add_parser("import", help="HRPC Import through the HNS")
+    p_import.add_argument("service", help="service name, e.g. DesiredService")
+    p_import.add_argument("hns_name", help="HNS name, e.g. 'BIND-cs::fiji.cs.washington.edu'")
+    p_import.set_defaults(func=cmd_import)
+
+    p_resolve = sub.add_parser("resolve", help="FindNSM + NSM query")
+    p_resolve.add_argument("hns_name")
+    p_resolve.add_argument(
+        "query_class",
+        choices=["HRPCBinding", "HostAddress", "MailboxLocation", "FileService"],
+    )
+    p_resolve.add_argument("--service", default="", help="for HRPCBinding queries")
+    p_resolve.set_defaults(func=cmd_resolve)
+
+    p_table = sub.add_parser("table31", help="regenerate Table 3.1")
+    p_table.set_defaults(func=cmd_table31)
+
+    p_trace = sub.add_parser("trace", help="traced Import (Figure 2.1 style)")
+    p_trace.add_argument("service")
+    p_trace.add_argument("hns_name")
+    p_trace.set_defaults(func=cmd_trace)
+
+    p_list = sub.add_parser("list", help="browse the registered federation")
+    p_list.set_defaults(func=cmd_list)
+    return parser
+
+
+def cmd_list(args: argparse.Namespace) -> int:
+    """``list``: browse the registered federation."""
+    testbed = build_testbed(seed=args.seed)
+    metastore = testbed.make_metastore(testbed.client)
+    env = testbed.env
+    listing = env.run(until=env.process(metastore.directory()))
+    print(listing.render())
+    return 0
+
+
+def main(argv: typing.Optional[typing.Sequence[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

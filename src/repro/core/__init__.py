@@ -1,0 +1,76 @@
+"""The HCS Name Service (HNS): the paper's primary contribution.
+
+The HNS is a *direct access* federated name service: it manages a
+global name space whose data stays in the underlying heterogeneous name
+services (BIND, Clearinghouse, ...), reached through per-(query class,
+name service) agents called Naming Semantics Managers (NSMs).
+
+Public surface:
+
+- :class:`~repro.core.names.HNSName` — (context, individual name);
+- :class:`~repro.core.hns.HNS` — the library implementing ``FindNSM``
+  with its specialized meta-naming cache;
+- :class:`~repro.core.nsm.NamingSemanticsManager` and the concrete NSMs
+  in :mod:`repro.core.nsms`;
+- :class:`~repro.core.admin.HnsAdministrator` — registering name
+  services, contexts, and NSMs (dynamic updates to the modified BIND);
+- :class:`~repro.core.import_call.HrpcImporter` — the HRPC ``Import``
+  application built on the HNS;
+- :mod:`~repro.core.colocation` — the five client/HNS/NSM placement
+  arrangements of Table 3.1;
+- :mod:`~repro.core.model` — equation (1), the caching-vs-colocation
+  tradeoff.
+"""
+
+from repro.core.names import HNSName
+from repro.core.queryclass import (
+    QUERY_CLASSES,
+    QueryClass,
+    query_class_named,
+)
+from repro.core.errors import (
+    ContextNotFound,
+    HnsError,
+    NsmNotFound,
+    QueryClassUnsupported,
+)
+from repro.core.metastore import MetaStore, NsmRecord, NameServiceRecord
+from repro.core.nsm import (
+    LocalNsmBinding,
+    NamingSemanticsManager,
+    NsmResult,
+    NsmStub,
+    serve_nsm,
+)
+from repro.core.hns import HNS, HnsService, serve_hns
+from repro.core.admin import HnsAdministrator
+from repro.core.import_call import HrpcImporter
+from repro.core.colocation import Arrangement, ColocationStack
+from repro.core.model import ColocationModel
+
+__all__ = [
+    "Arrangement",
+    "ColocationModel",
+    "ColocationStack",
+    "ContextNotFound",
+    "HNS",
+    "HNSName",
+    "HnsAdministrator",
+    "HnsError",
+    "HnsService",
+    "HrpcImporter",
+    "LocalNsmBinding",
+    "MetaStore",
+    "NameServiceRecord",
+    "NamingSemanticsManager",
+    "NsmNotFound",
+    "NsmRecord",
+    "NsmResult",
+    "NsmStub",
+    "QUERY_CLASSES",
+    "QueryClass",
+    "QueryClassUnsupported",
+    "query_class_named",
+    "serve_hns",
+    "serve_nsm",
+]

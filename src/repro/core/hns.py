@@ -1,0 +1,233 @@
+"""The HNS library: ``FindNSM``.
+
+"The primary HNS function is the call to locate an NSM, FindNSM.  This
+call maps a context and query class to the information, called an HRPC
+Binding, needed for making an HRPC call to the NSM.  FindNSM is
+implemented as the following sequence of mappings:
+
+1. Context -> Name Service Name
+2. Name Service Name, Query Class -> NSM Name
+3. NSM Name -> HRPC Binding for the NSM"
+
+Mapping 3 contains the NSM's *host name*; translating it to an address
+is "itself an HNS naming operation", adding mappings 1 and 2 for the
+host's context and a call to a HostAddress NSM.  "Further recursion is
+avoided by linking instances of the NSMs that perform this mapping
+directly with the HNS."  That makes six data mappings per cold FindNSM,
+"each of which involves a remote call in the case of a cache miss" —
+and each TTL-cached, keyed by locality of "query class and name system
+type", which is the specialized caching scheme of the title.
+
+The HNS is "a collection of library routines": link an :class:`HNS`
+into any process, or wrap it with :func:`serve_hns` to expose it as a
+remote HRPC service — the colocation spectrum of Table 3.1.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.core.errors import HnsError, NsmNotFound
+from repro.core.metastore import MetaStore, NsmRecord
+from repro.core.names import HNSName
+from repro.core.nsm import LocalNsmBinding, NamingSemanticsManager
+from repro.core.queryclass import query_class_named
+from repro.harness.calibration import Calibration, DEFAULT_CALIBRATION
+from repro.hrpc.binding import HRPCBinding
+from repro.hrpc.server import HrpcServer
+from repro.net.addresses import Endpoint, NetworkAddress
+
+HOST_ADDRESS_QC = "HostAddress"
+
+#: FindNSM's answer: either a handle for a remote HRPC call, or a
+#: reference to an NSM linked into this very process.
+NsmBindingLike = typing.Union[HRPCBinding, LocalNsmBinding]
+
+
+class HNS:
+    """One instance of the HNS library, linked into some process."""
+
+    def __init__(
+        self,
+        metastore: MetaStore,
+        calibration: Calibration = DEFAULT_CALIBRATION,
+    ):
+        self.metastore = metastore
+        self.host = metastore.host
+        self.env = metastore.env
+        self.calibration = calibration
+        # Statically linked HostAddress NSMs, one per name service:
+        # these cut the FindNSM recursion.
+        self._host_address_nsms: typing.Dict[str, NamingSemanticsManager] = {}
+        # NSMs linked into the same process as this HNS instance; when
+        # FindNSM selects one of these, the client gets a local binding.
+        self._local_nsms: typing.Dict[str, NamingSemanticsManager] = {}
+
+    # ------------------------------------------------------------------
+    # Linking
+    # ------------------------------------------------------------------
+    def link_host_address_nsm(
+        self, name_service: str, nsm: NamingSemanticsManager
+    ) -> None:
+        """Statically link the HostAddress NSM for ``name_service``."""
+        if nsm.query_class != HOST_ADDRESS_QC:
+            raise ValueError(
+                f"{nsm.name} is a {nsm.query_class} NSM, not {HOST_ADDRESS_QC}"
+            )
+        if nsm.host is not self.host:
+            raise ValueError(
+                f"statically linked NSM must share the HNS's process host"
+            )
+        self._host_address_nsms[name_service] = nsm
+
+    def link_local_nsm(self, nsm: NamingSemanticsManager) -> None:
+        """Link an NSM into this process (the colocated-NSM arrangements)."""
+        if nsm.host is not self.host:
+            raise ValueError("locally linked NSM must share the HNS's host")
+        self._local_nsms[nsm.name] = nsm
+
+    def unlink_local_nsm(self, name: str) -> None:
+        self._local_nsms.pop(name, None)
+
+    # ------------------------------------------------------------------
+    # FindNSM
+    # ------------------------------------------------------------------
+    def find_nsm(
+        self, hns_name: HNSName, query_class: str
+    ) -> typing.Generator:
+        """Locate the NSM for (context of ``hns_name``, ``query_class``).
+
+        Returns an :class:`HRPCBinding` (or :class:`LocalNsmBinding` for
+        a linked-in NSM).  The caller then calls the NSM itself — the
+        HNS never calls NSMs on the client's behalf, since each query
+        class has its own interface.
+        """
+        query_class_named(query_class)  # fail fast on unknown classes
+        cal = self.calibration
+        env = self.env
+        env.stats.counter("hns.find_nsm").increment()
+        # Fixed library bookkeeping.
+        yield from self.host.cpu.compute(cal.hns_fixed_ms)
+        # Mapping 1: context -> name service name.
+        ns_name = yield from self.metastore.context_to_name_service(
+            hns_name.context
+        )
+        # Mapping 2: (name service, query class) -> NSM name.
+        nsm_name = yield from self.metastore.nsm_name_for(ns_name, query_class)
+        # Mapping 3: NSM name -> NSM binding information.
+        record = yield from self.metastore.nsm_record(nsm_name)
+        env.trace.emit(
+            "hns",
+            f"FindNSM({hns_name.context}, {query_class}) -> {nsm_name}",
+            name_service=ns_name,
+        )
+        if record.port == 0:
+            # An NSM only available linked-in: usable iff this process
+            # has it.  No host resolution is possible or needed.
+            local = self._local_nsms.get(nsm_name)
+            if local is None:
+                raise NsmNotFound(
+                    f"NSM {nsm_name} is not remotely callable and is not "
+                    f"linked into this process"
+                )
+            return LocalNsmBinding(local)
+        # Mappings 4-6: resolve the NSM's host name to an address.  The
+        # prototype performs these even when a local copy will be used —
+        # the six-mapping cost structure of the paper's measurements.
+        address = yield from self._resolve_nsm_host(record)
+        local = self._local_nsms.get(nsm_name)
+        if local is not None:
+            return LocalNsmBinding(local)
+        return HRPCBinding(
+            endpoint=Endpoint(address, record.port),
+            program=record.program,
+            suite=record.suite,
+            system_type="unix",
+            metadata={"nsm": nsm_name, "name_service": ns_name},
+        )
+
+    def _resolve_nsm_host(self, record: NsmRecord) -> typing.Generator:
+        """Mappings 4-6: host name -> network address.
+
+        4. host context -> name service name        (meta lookup)
+        5. (name service, HostAddress) -> NSM name  (meta lookup)
+        6. the statically linked HostAddress NSM's native lookup.
+        """
+        host_ns = yield from self.metastore.context_to_name_service(
+            record.host_context
+        )
+        yield from self.metastore.nsm_name_for(host_ns, HOST_ADDRESS_QC)
+        nsm = self._host_address_nsms.get(host_ns)
+        if nsm is None:
+            raise HnsError(
+                f"no statically linked HostAddress NSM for name service "
+                f"{host_ns!r} (needed to resolve {record.host_name})"
+            )
+        result = yield from nsm.query(
+            HNSName(record.host_context, record.host_name)
+        )
+        return NetworkAddress(typing.cast(str, result.value["address"]))
+
+    # ------------------------------------------------------------------
+    def preload(self) -> typing.Generator:
+        """Preload the meta cache by zone transfer (~390 ms for ~2 KB).
+
+        Also warms the statically linked HostAddress NSM caches from the
+        NSM-host address records carried in the meta zone, which is what
+        "guarantee[s] HNS cache hits".
+        """
+        count = yield from self.metastore.preload()
+        # Warm the host-address NSM caches from the transferred
+        # `<label>.addr.hns` records (cache format is demarshalled, so
+        # payloads are ResourceRecord lists).
+        from repro.bind.cache import CacheFormat
+        from repro.core.metastore import META_ORIGIN, decode_fields
+
+        if self.metastore.cache.format is not CacheFormat.DEMARSHALLED:
+            return count
+        for key, entry in list(self.metastore.cache._entries.items()):
+            owner = typing.cast(typing.Tuple[str, int], key)[0]
+            if not owner.endswith(f".addr.{META_ORIGIN}"):
+                continue
+            records = typing.cast(list, entry.payload)
+            fields = decode_fields(records[0].data)
+            for nsm in self._host_address_nsms.values():
+                if nsm.cache is None:
+                    continue
+                nsm.cache.insert(
+                    ("hostaddr", fields["host"]),
+                    {"address": fields["addr"]},
+                    1,
+                    self.calibration.meta_ttl_ms,
+                )
+        return count
+
+
+class HnsService:
+    """The HNS wrapped as a remote HRPC service (program ``hns``)."""
+
+    PROGRAM = "hns"
+
+    def __init__(self, hns: HNS, server: HrpcServer):
+        if hns.host is not server.host:
+            raise ValueError("HNS instance and server must share a host")
+        self.hns = hns
+        self.server = server
+
+        def find_nsm_proc(ctx, hns_name_text: str, query_class: str):
+            binding = yield from hns.find_nsm(
+                HNSName.parse(hns_name_text), query_class
+            )
+            if isinstance(binding, LocalNsmBinding):
+                raise HnsError(
+                    f"FindNSM selected {binding.nsm.name}, which is linked "
+                    "into the HNS server process and not callable remotely"
+                )
+            return binding
+
+        server.program(self.PROGRAM).procedure("FindNSM", find_nsm_proc)
+
+
+def serve_hns(hns: HNS, server: HrpcServer) -> HnsService:
+    """Expose ``hns`` on ``server`` as program ``hns``."""
+    return HnsService(hns, server)

@@ -1,0 +1,158 @@
+"""The HRPC ``Import`` call: the first HNS application.
+
+"In its simplest form, a client calls the HNS using heterogeneous RPC,
+passing the HNS name and query class.  ... The client then calls the
+NSM using the query specific interface, which includes the original HNS
+name."  Import wraps that two-step dance (plus the fixed HRPC machinery
+of component selection, stub setup, and result marshalling) behind one
+call that returns a ready-to-use :class:`HRPCBinding`.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.core.errors import HnsError
+from repro.core.hns import HNS
+from repro.core.names import HNSName
+from repro.core.nsm import NsmResult, NsmStub
+from repro.harness.calibration import Calibration, DEFAULT_CALIBRATION
+from repro.hrpc.binding import HRPCBinding
+from repro.hrpc.runtime import HrpcRuntime
+from repro.net.host import Host
+
+BINDING_QC = "HRPCBinding"
+
+
+class LocalFinder:
+    """FindNSM through an HNS library linked into this process."""
+
+    def __init__(self, hns: HNS):
+        self.hns = hns
+
+    def find(self, hns_name: HNSName, query_class: str) -> typing.Generator:
+        binding = yield from self.hns.find_nsm(hns_name, query_class)
+        return binding
+
+
+class RemoteFinder:
+    """FindNSM via an HRPC call to a remote HNS service."""
+
+    def __init__(self, runtime: HrpcRuntime, hns_binding: HRPCBinding):
+        self.runtime = runtime
+        self.hns_binding = hns_binding
+
+    def find(self, hns_name: HNSName, query_class: str) -> typing.Generator:
+        binding = yield from self.runtime.call(
+            self.hns_binding,
+            "FindNSM",
+            str(hns_name),
+            query_class,
+            arg_size_bytes=hns_name.wire_size() + 32,
+        )
+        return binding
+
+
+def result_to_binding(result: NsmResult) -> HRPCBinding:
+    """Build the client's Binding from a standardized NSM result."""
+    value = result.value
+    return HRPCBinding(
+        endpoint=value["endpoint"],  # type: ignore[arg-type]
+        program=typing.cast(str, value["program"]),
+        suite=typing.cast(str, value["suite"]),
+        system_type=typing.cast(str, value.get("system_type", "unix")),
+    )
+
+
+class HrpcImporter:
+    """Client-side Import.
+
+    Exactly one of (``finder`` + ``nsm_stub``) or (``agent_binding`` +
+    ``runtime``) must be supplied: the former runs the two-step protocol
+    from this process, the latter delegates both steps to a remote
+    agent (Table 3.1 row 2).
+    """
+
+    def __init__(
+        self,
+        client_host: Host,
+        finder: typing.Optional[typing.Union[LocalFinder, RemoteFinder]] = None,
+        nsm_stub: typing.Optional[NsmStub] = None,
+        agent_binding: typing.Optional[HRPCBinding] = None,
+        runtime: typing.Optional[HrpcRuntime] = None,
+        calibration: Calibration = DEFAULT_CALIBRATION,
+    ):
+        direct = finder is not None and nsm_stub is not None
+        via_agent = agent_binding is not None and runtime is not None
+        if direct == via_agent:
+            raise ValueError(
+                "supply either (finder, nsm_stub) or (agent_binding, runtime)"
+            )
+        self.client_host = client_host
+        self.env = client_host.env
+        self.finder = finder
+        self.nsm_stub = nsm_stub
+        self.agent_binding = agent_binding
+        self.runtime = runtime
+        self.calibration = calibration
+
+    def import_binding(
+        self, service_name: str, hns_name: HNSName
+    ) -> typing.Generator:
+        """``Import(ServiceName, HostName) -> ResultBinding``."""
+        if not service_name:
+            raise ValueError("Import requires a service name")
+        env = self.env
+        env.stats.counter("hrpc.imports").increment()
+        start = env.now
+        # The fixed HRPC import machinery: component selection, stub
+        # instantiation, final marshalling of the Binding to the caller.
+        yield from self.client_host.cpu.compute(self.calibration.import_fixed_ms)
+        if self.agent_binding is not None:
+            assert self.runtime is not None
+            binding = yield from self.runtime.call(
+                self.agent_binding,
+                "Import",
+                service_name,
+                str(hns_name),
+                arg_size_bytes=hns_name.wire_size() + len(service_name) + 32,
+            )
+        else:
+            assert self.finder is not None and self.nsm_stub is not None
+            nsm_binding = yield from self.finder.find(hns_name, BINDING_QC)
+            result = yield from self.nsm_stub.call(
+                nsm_binding, hns_name, service=service_name
+            )
+            binding = result_to_binding(result)
+        if not isinstance(binding, HRPCBinding):
+            raise HnsError(f"Import produced a non-binding {binding!r}")
+        env.stats.timer("hrpc.import_ms").record(env.now - start)
+        env.trace.emit(
+            "import",
+            f"Import({service_name}, {hns_name}) -> {binding.describe()}",
+        )
+        return binding
+
+
+def serve_agent(
+    hns: HNS,
+    server,
+    nsm_stub: NsmStub,
+    program_name: str = "hnsagent",
+) -> str:
+    """Expose an Import-performing agent (Table 3.1 row 2).
+
+    "a single process remote from the client acted as the client's
+    agent, making local calls to the HNS and then to the NSM.  This
+    structure provides a mixture of colocation efficiency and ease of
+    NSM update."
+    """
+
+    def import_proc(ctx, service_name: str, hns_name_text: str):
+        hns_name = HNSName.parse(hns_name_text)
+        nsm_binding = yield from hns.find_nsm(hns_name, BINDING_QC)
+        result = yield from nsm_stub.call(nsm_binding, hns_name, service=service_name)
+        return result_to_binding(result)
+
+    server.program(program_name).procedure("Import", import_proc)
+    return program_name

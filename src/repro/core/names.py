@@ -1,0 +1,57 @@
+"""HNS names: a context plus an individual name.
+
+"HNS names contain two parts, a context and an individual name.
+Roughly, the context identifies the local name service in which the
+data can be found while the individual name determines the name of the
+object in that local service."
+
+The individual name "can be any string, but in the simplest case is
+identical to the name of the entity in its local name service" — so no
+syntax is imposed on it beyond non-emptiness.  Contexts are identifiers
+(they become labels in the meta-naming zone).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import re
+
+_CONTEXT_RE = re.compile(r"^[A-Za-z0-9]([A-Za-z0-9_-]{0,62})$")
+
+#: Separator for the display form.  Individual names may contain any
+#: character except this sequence, since local syntaxes vary wildly
+#: (dotted domains, colon-separated Clearinghouse names, ...).
+SEPARATOR = "::"
+
+
+@dataclasses.dataclass(frozen=True, order=True)
+class HNSName:
+    """A global HNS name."""
+
+    context: str
+    name: str
+
+    def __post_init__(self) -> None:
+        if not _CONTEXT_RE.match(self.context):
+            raise ValueError(
+                f"bad context {self.context!r}: contexts are 1-63 char "
+                "identifiers of letters, digits, '-' and '_'"
+            )
+        if not self.name:
+            raise ValueError("individual name must be non-empty")
+        if SEPARATOR in self.name:
+            raise ValueError(f"individual name may not contain {SEPARATOR!r}")
+
+    @classmethod
+    def parse(cls, text: str) -> "HNSName":
+        """Parse the display form ``context::individual``."""
+        context, sep, name = text.partition(SEPARATOR)
+        if not sep:
+            raise ValueError(f"HNS name needs {SEPARATOR!r}: {text!r}")
+        return cls(context, name)
+
+    def __str__(self) -> str:
+        return f"{self.context}{SEPARATOR}{self.name}"
+
+    def wire_size(self) -> int:
+        return len(self.context) + len(self.name) + 8

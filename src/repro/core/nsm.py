@@ -1,0 +1,252 @@
+"""The NSM framework.
+
+"Each NSM understands the semantics of naming for a particular query
+class and a particular name service. ... The NSMs are neither HNS nor
+application code per se.  Rather, they are code managed by the HNS and
+shared by the applications."
+
+An NSM is ordinary Python (a generator-based ``query``); it can be
+
+- **linked in** to any process (client, agent, or the HNS itself) and
+  called locally at essentially zero call cost, or
+- **served remotely** behind an :class:`~repro.hrpc.server.HrpcServer`
+  program via :func:`serve_nsm`, where it is shared by all clients (and
+  so sees a higher cache-hit fraction — the other side of equation (1)).
+
+:class:`NsmStub` gives clients one calling convention for both cases:
+it dispatches on whether FindNSM returned a :class:`LocalNsmBinding` or
+a remote :class:`~repro.hrpc.binding.HRPCBinding`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.bind import CacheFormat, ResolverCache
+from repro.core.names import HNSName
+from repro.core.queryclass import query_class_named
+from repro.harness.calibration import Calibration, DEFAULT_CALIBRATION
+from repro.hrpc.binding import HRPCBinding
+from repro.hrpc.runtime import HrpcRuntime
+from repro.hrpc.server import HrpcServer
+from repro.net.host import Host
+
+
+@dataclasses.dataclass
+class NsmResult:
+    """A standardized query result: the query class fixes the fields."""
+
+    query_class: str
+    value: typing.Dict[str, object]
+    from_cache: bool = False
+
+    def __post_init__(self) -> None:
+        query_class_named(self.query_class).validate_result(self.value)
+
+
+class NamingSemanticsManager:
+    """Base class for all NSMs.
+
+    Subclasses set :attr:`query_class` and :attr:`name_service` and
+    implement :meth:`resolve`, the native-protocol work.  The base class
+    provides the result cache (hits skip the native work entirely) and
+    standardization cost accounting.
+    """
+
+    query_class: str = ""
+
+    def __init__(
+        self,
+        host: Host,
+        name_service: str,
+        name: str = "",
+        calibration: Calibration = DEFAULT_CALIBRATION,
+        cached: bool = True,
+    ):
+        if not self.query_class:
+            raise TypeError("NSM subclasses must set query_class")
+        query_class_named(self.query_class)
+        self.host = host
+        self.env = host.env
+        self.name_service = name_service
+        self.name = name or f"{self.query_class}-{name_service}"
+        self.calibration = calibration
+        # Per-instance cost knobs.  Defaults model a full-featured NSM
+        # (name translation + result standardization + cached-result
+        # revalidation); lightweight NSMs — notably the statically
+        # linked HostAddress ones — zero them out.
+        self.translate_cost_ms = calibration.nsm_translate_ms
+        self.standardize_cost_ms = calibration.nsm_standardize_ms
+        self.cache_hit_extra_ms = calibration.nsm_cache_hit_extra_ms
+        self.cache: typing.Optional[ResolverCache] = (
+            ResolverCache(
+                host.env,
+                name=f"nsm:{self.name}",
+                fmt=CacheFormat.DEMARSHALLED,
+                calibration=calibration,
+            )
+            if cached
+            else None
+        )
+
+    # ------------------------------------------------------------------
+    def resolve(
+        self, hns_name: HNSName, params: typing.Mapping[str, object]
+    ) -> typing.Generator:
+        """Do the native work; returns (result dict, ttl_ms).
+
+        Subclasses translate the individual name to the local name,
+        interrogate the local name service with its own protocol, and
+        return data in the query class's standard format.
+        """
+        raise NotImplementedError
+
+    def translate_name(self, hns_name: HNSName) -> str:
+        """Individual name -> local name (identity by default).
+
+        "the individual name ... in the simplest case is identical to
+        the name of the entity in its local name service."
+        """
+        return hns_name.name
+
+    def _cache_key(
+        self, hns_name: HNSName, params: typing.Mapping[str, object]
+    ) -> object:
+        return (str(hns_name), tuple(sorted((k, str(v)) for k, v in params.items())))
+
+    # ------------------------------------------------------------------
+    def query(
+        self, hns_name: HNSName, **params: object
+    ) -> typing.Generator:
+        """The query-class interface: identical across all NSMs.
+
+        Returns an :class:`NsmResult`.
+        """
+        if self.cache is not None:
+            key = self._cache_key(hns_name, params)
+            entry, probe_cost = self.cache.probe(key)
+            yield from self.host.cpu.compute(probe_cost)
+            if entry is not None:
+                yield from self.host.cpu.compute(
+                    self.cache.hit_cost(entry) + self.cache_hit_extra_ms
+                )
+                self.env.stats.counter(f"nsm.{self.name}.cache_hits").increment()
+                return NsmResult(
+                    self.query_class,
+                    dict(typing.cast(dict, entry.payload)),
+                    from_cache=True,
+                )
+        self.env.stats.counter(f"nsm.{self.name}.native_queries").increment()
+        if self.translate_cost_ms:
+            yield from self.host.cpu.compute(self.translate_cost_ms)
+        value, ttl_ms = yield from self.resolve(hns_name, params)
+        if self.standardize_cost_ms:
+            yield from self.host.cpu.compute(self.standardize_cost_ms)
+        result = NsmResult(self.query_class, dict(value))
+        if self.cache is not None:
+            insert_cost = self.cache.insert(key, dict(value), 1, ttl_ms)
+            yield from self.host.cpu.compute(insert_cost)
+        self.env.trace.emit(
+            "nsm", f"{self.name}: resolved {hns_name}", params=dict(params)
+        )
+        return result
+
+
+# ----------------------------------------------------------------------
+# Local vs remote invocation
+# ----------------------------------------------------------------------
+@dataclasses.dataclass(frozen=True)
+class LocalNsmBinding:
+    """FindNSM's answer when the chosen NSM is linked into this process."""
+
+    nsm: NamingSemanticsManager
+
+    @property
+    def program(self) -> str:
+        return f"nsm.{self.nsm.name}"
+
+    def describe(self) -> str:
+        return f"LocalNsmBinding({self.nsm.name})"
+
+
+def serve_nsm(server: HrpcServer, nsm: NamingSemanticsManager) -> str:
+    """Expose ``nsm`` as program ``nsm.<name>`` with procedure ``query``.
+
+    Returns the program name.  "registering an NSM with the HNS extends
+    the functionality of all machines at once" — remote NSMs are the
+    manageable choice.
+    """
+    if nsm.host is not server.host:
+        raise ValueError(
+            f"NSM {nsm.name} lives on {nsm.host.name}, "
+            f"server on {server.host.name}; colocate them first"
+        )
+    program_name = f"nsm.{nsm.name}"
+
+    def query_proc(ctx, hns_name_text: str, params: dict):
+        result = yield from nsm.query(HNSName.parse(hns_name_text), **params)
+        return {"query_class": result.query_class, "value": result.value}
+
+    server.program(program_name).procedure("query", query_proc)
+    return program_name
+
+
+class NsmStub:
+    """Uniform client-side calling convention for any NSM binding.
+
+    "the client can call the NSM that the HNS designates without regard
+    to the name service that NSM uses" — nor, here, to whether it is
+    local or remote.
+    """
+
+    def __init__(
+        self,
+        host: Host,
+        runtime: typing.Optional[HrpcRuntime] = None,
+        calibration: Calibration = DEFAULT_CALIBRATION,
+        local_nsms: typing.Optional[
+            typing.Mapping[str, NamingSemanticsManager]
+        ] = None,
+    ):
+        self.host = host
+        self.env = host.env
+        self.runtime = runtime
+        self.calibration = calibration
+        # NSMs linked into *this* process: if FindNSM (possibly running
+        # remotely) designates one of these, the stub short-circuits to
+        # the local copy instead of calling across the network.
+        self.local_nsms: typing.Dict[str, NamingSemanticsManager] = dict(
+            local_nsms or {}
+        )
+
+    def link_local(self, nsm: NamingSemanticsManager) -> None:
+        self.local_nsms[nsm.name] = nsm
+
+    def call(
+        self,
+        binding: typing.Union[LocalNsmBinding, HRPCBinding],
+        hns_name: HNSName,
+        **params: object,
+    ) -> typing.Generator:
+        """Invoke the NSM's ``query``; returns an :class:`NsmResult`."""
+        if isinstance(binding, HRPCBinding):
+            local = self.local_nsms.get(binding.metadata.get("nsm", ""))
+            if local is not None:
+                binding = LocalNsmBinding(local)
+        if isinstance(binding, LocalNsmBinding):
+            # "C(local call) is effectively zero".
+            if self.calibration.local_call_ms:
+                yield from self.host.cpu.compute(self.calibration.local_call_ms)
+            result = yield from binding.nsm.query(hns_name, **params)
+            return result
+        if self.runtime is None:
+            raise ValueError("remote NSM binding but no HRPC runtime supplied")
+        raw = yield from self.runtime.call(
+            binding,
+            "query",
+            str(hns_name),
+            dict(params),
+            arg_size_bytes=hns_name.wire_size() + 96,
+        )
+        return NsmResult(raw["query_class"], dict(raw["value"]))

@@ -1,0 +1,29 @@
+"""Concrete NSMs for the two prototype name services.
+
+"The binding NSMs for both the BIND and Clearinghouse subsystems are
+about 230 lines each."  Ours are in the same spirit: one module per
+(query class, name service) pair, each encapsulating the local naming
+syntax, the access protocol, and the native binding protocol.
+"""
+
+from repro.core.nsms.bind_binding import BindBindingNSM
+from repro.core.nsms.ch_binding import ClearinghouseBindingNSM
+from repro.core.nsms.bind_hostaddr import BindHostAddressNSM
+from repro.core.nsms.ch_hostaddr import ClearinghouseHostAddressNSM
+from repro.core.nsms.mail import BindMailboxNSM, ClearinghouseMailboxNSM
+from repro.core.nsms.file_service import BindFileServiceNSM, ClearinghouseFileServiceNSM
+from repro.core.nsms.yp import YpBindingNSM, YpHostAddressNSM, YpMailboxNSM
+
+__all__ = [
+    "BindBindingNSM",
+    "BindFileServiceNSM",
+    "BindHostAddressNSM",
+    "BindMailboxNSM",
+    "ClearinghouseBindingNSM",
+    "ClearinghouseFileServiceNSM",
+    "ClearinghouseHostAddressNSM",
+    "ClearinghouseMailboxNSM",
+    "YpBindingNSM",
+    "YpHostAddressNSM",
+    "YpMailboxNSM",
+]

@@ -1,0 +1,69 @@
+"""HRPCBinding NSM for BIND (UNIX/Sun) systems.
+
+"The NSM looks up the local name ('fiji.cs.washington.edu') in the name
+service, and then determines the needed port number for the
+ServiceName, using whatever binding protocol is appropriate for that
+particular system" — here the Sun portmapper protocol.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.bind import BindResolver
+from repro.core.names import HNSName
+from repro.core.nsm import NamingSemanticsManager
+from repro.harness.calibration import Calibration, DEFAULT_CALIBRATION
+from repro.hrpc.portmapper import PortmapperClient
+from repro.net.addresses import Endpoint, NetworkAddress
+from repro.net.host import Host
+from repro.net.transport import Transport
+
+
+class BindBindingNSM(NamingSemanticsManager):
+    """Binds clients to Sun RPC servers named through BIND."""
+
+    query_class = "HRPCBinding"
+
+    def __init__(
+        self,
+        host: Host,
+        name_service: str,
+        transport: Transport,
+        bind_server: Endpoint,
+        calibration: Calibration = DEFAULT_CALIBRATION,
+        cached: bool = True,
+        **kwargs: object,
+    ):
+        super().__init__(
+            host, name_service, calibration=calibration, cached=cached, **kwargs  # type: ignore[arg-type]
+        )
+        self.resolver = BindResolver(
+            host,
+            transport,
+            bind_server,
+            marshalling="handcoded",
+            calibration=calibration,
+            name=f"nsm-binding@{host.name}",
+        )
+        self.portmapper = PortmapperClient(host, transport, calibration=calibration)
+
+    def resolve(
+        self, hns_name: HNSName, params: typing.Mapping[str, object]
+    ) -> typing.Generator:
+        service_name = typing.cast(str, params.get("service"))
+        if not service_name:
+            raise ValueError("HRPCBinding query requires a 'service' parameter")
+        # 1. Local name service lookup: host name -> address.
+        local_name = self.translate_name(hns_name)
+        records = yield from self.resolver.lookup(local_name)
+        address = NetworkAddress(records[0].address)
+        # 2. Native binding protocol: the Sun portmapper exchanges.
+        port = yield from self.portmapper.get_port(address, service_name)
+        value = {
+            "endpoint": Endpoint(address, port),
+            "program": service_name,
+            "suite": "sunrpc",
+            "system_type": "sun",
+        }
+        return value, min(r.ttl for r in records)

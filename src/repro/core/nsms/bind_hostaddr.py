@@ -1,0 +1,69 @@
+"""HostAddress NSM for BIND systems.
+
+Instances of this NSM are also statically linked into every HNS to cut
+the FindNSM recursion: "Further recursion is avoided by linking
+instances of the NSMs that perform this mapping directly with the HNS,
+so that their network addresses need not be found."
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.bind import BindResolver
+from repro.core.names import HNSName
+from repro.core.nsm import NamingSemanticsManager
+from repro.harness.calibration import Calibration, DEFAULT_CALIBRATION
+from repro.net.addresses import Endpoint
+from repro.net.host import Host
+from repro.net.transport import Transport
+
+
+class BindHostAddressNSM(NamingSemanticsManager):
+    """Maps a host name to its address via the conventional resolver."""
+
+    query_class = "HostAddress"
+
+    def __init__(
+        self,
+        host: Host,
+        name_service: str,
+        transport: Transport,
+        bind_server: Endpoint,
+        calibration: Calibration = DEFAULT_CALIBRATION,
+        cached: bool = True,
+        **kwargs: object,
+    ):
+        super().__init__(
+            host, name_service, calibration=calibration, cached=cached, **kwargs  # type: ignore[arg-type]
+        )
+        # A host-address answer needs no translation or restructuring;
+        # linked-in instances must cost exactly the native lookup on a
+        # miss and a bare cache hit otherwise.
+        self.translate_cost_ms = 0.0
+        self.standardize_cost_ms = 0.0
+        self.cache_hit_extra_ms = 0.0
+        # The NSM result cache (self.cache) covers the standardized
+        # answers; the resolver itself runs uncached so the native cost
+        # is the paper's 27 ms conventional lookup.
+        self.resolver = BindResolver(
+            host,
+            transport,
+            bind_server,
+            marshalling="handcoded",
+            calibration=calibration,
+            name=f"nsm-hostaddr@{host.name}",
+        )
+
+    def _cache_key(self, hns_name: HNSName, params) -> object:
+        # Keyed by local host name so preloaded entries (which know only
+        # the host name, not the context) hit.
+        return ("hostaddr", self.translate_name(hns_name))
+
+    def resolve(
+        self, hns_name: HNSName, params: typing.Mapping[str, object]
+    ) -> typing.Generator:
+        local_name = self.translate_name(hns_name)
+        records = yield from self.resolver.lookup(local_name)
+        ttl = min(r.ttl for r in records)
+        return {"address": records[0].address}, ttl

@@ -1,0 +1,62 @@
+"""HRPCBinding NSM for Clearinghouse (Xerox/XDE) systems.
+
+Identical client interface to :class:`BindBindingNSM`; completely
+different implementation: the host address comes from an authenticated
+Clearinghouse retrieve, and the port from the Courier binding agent.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.clearinghouse import ClearinghouseClient, Credentials
+from repro.core.names import HNSName
+from repro.core.nsm import NamingSemanticsManager
+from repro.harness.calibration import Calibration, DEFAULT_CALIBRATION
+from repro.hrpc.courier_binder import CourierBinderClient
+from repro.net.addresses import Endpoint, NetworkAddress
+from repro.net.host import Host
+from repro.net.transport import Transport
+
+
+class ClearinghouseBindingNSM(NamingSemanticsManager):
+    """Binds clients to Courier servers named through the Clearinghouse."""
+
+    query_class = "HRPCBinding"
+
+    def __init__(
+        self,
+        host: Host,
+        name_service: str,
+        transport: Transport,
+        ch_server: Endpoint,
+        credentials: Credentials,
+        calibration: Calibration = DEFAULT_CALIBRATION,
+        cached: bool = True,
+        **kwargs: object,
+    ):
+        super().__init__(
+            host, name_service, calibration=calibration, cached=cached, **kwargs  # type: ignore[arg-type]
+        )
+        self.client = ClearinghouseClient(
+            host, transport, ch_server, credentials, name=f"nsm-chbind@{host.name}"
+        )
+        self.binder = CourierBinderClient(host, transport, calibration=calibration)
+
+    def resolve(
+        self, hns_name: HNSName, params: typing.Mapping[str, object]
+    ) -> typing.Generator:
+        service_name = typing.cast(str, params.get("service"))
+        if not service_name:
+            raise ValueError("HRPCBinding query requires a 'service' parameter")
+        local_name = self.translate_name(hns_name)
+        address_text = yield from self.client.lookup_address(local_name)
+        address = NetworkAddress(address_text)
+        port = yield from self.binder.locate(address, service_name)
+        value = {
+            "endpoint": Endpoint(address, port),
+            "program": service_name,
+            "suite": "courier",
+            "system_type": "xde",
+        }
+        return value, self.calibration.meta_ttl_ms

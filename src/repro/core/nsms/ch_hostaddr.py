@@ -1,0 +1,59 @@
+"""HostAddress NSM for Clearinghouse systems.
+
+Same client interface as the BIND variant, entirely different local
+protocol: three-part names, Courier, per-access authentication, disk.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.clearinghouse import CHName, ClearinghouseClient, Credentials
+from repro.core.names import HNSName
+from repro.core.nsm import NamingSemanticsManager
+from repro.harness.calibration import Calibration, DEFAULT_CALIBRATION
+from repro.net.addresses import Endpoint
+from repro.net.host import Host
+from repro.net.transport import Transport
+
+
+class ClearinghouseHostAddressNSM(NamingSemanticsManager):
+    """Maps a Clearinghouse host name to its network address."""
+
+    query_class = "HostAddress"
+
+    def __init__(
+        self,
+        host: Host,
+        name_service: str,
+        transport: Transport,
+        ch_server: Endpoint,
+        credentials: Credentials,
+        calibration: Calibration = DEFAULT_CALIBRATION,
+        cached: bool = True,
+        **kwargs: object,
+    ):
+        super().__init__(
+            host, name_service, calibration=calibration, cached=cached, **kwargs  # type: ignore[arg-type]
+        )
+        self.translate_cost_ms = 0.0
+        self.standardize_cost_ms = 0.0
+        self.cache_hit_extra_ms = 0.0
+        self.client = ClearinghouseClient(
+            host, transport, ch_server, credentials, name=f"nsm-ch@{host.name}"
+        )
+
+    def translate_name(self, hns_name: HNSName) -> str:
+        """Individual names are the local three-part CH names."""
+        CHName.parse(hns_name.name)  # validate the local syntax
+        return hns_name.name
+
+    def _cache_key(self, hns_name: HNSName, params) -> object:
+        return ("hostaddr", self.translate_name(hns_name))
+
+    def resolve(
+        self, hns_name: HNSName, params: typing.Mapping[str, object]
+    ) -> typing.Generator:
+        local_name = self.translate_name(hns_name)
+        address = yield from self.client.lookup_address(local_name)
+        return {"address": address}, self.calibration.meta_ttl_ms

@@ -1,0 +1,127 @@
+"""FileService NSMs: the HCS filing service's naming needs.
+
+Maps a global file-service name to an HRPC-callable endpoint plus the
+volume to mount — the HNS side of the "heterogeneous file system that
+mediates access to the set of local file systems" the conclusions
+mention.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.bind import BindResolver, RRType
+from repro.clearinghouse import ClearinghouseClient, Credentials
+from repro.core.names import HNSName
+from repro.core.nsm import NamingSemanticsManager
+from repro.harness.calibration import Calibration, DEFAULT_CALIBRATION
+from repro.hrpc.courier_binder import CourierBinderClient
+from repro.hrpc.portmapper import PortmapperClient
+from repro.net.addresses import Endpoint, NetworkAddress
+from repro.net.host import Host
+from repro.net.transport import Transport
+
+FILE_PROGRAM = "hcsfile"
+
+
+class BindFileServiceNSM(NamingSemanticsManager):
+    """File service location for UNIX/Sun systems.
+
+    The volume descriptor lives in a TXT record
+    (``server=<host>;volume=<path>``); the server's address comes from
+    an A lookup and its port from the portmapper.
+    """
+
+    query_class = "FileService"
+
+    def __init__(
+        self,
+        host: Host,
+        name_service: str,
+        transport: Transport,
+        bind_server: Endpoint,
+        calibration: Calibration = DEFAULT_CALIBRATION,
+        cached: bool = True,
+        **kwargs: object,
+    ):
+        super().__init__(
+            host, name_service, calibration=calibration, cached=cached, **kwargs  # type: ignore[arg-type]
+        )
+        self.resolver = BindResolver(
+            host,
+            transport,
+            bind_server,
+            marshalling="handcoded",
+            calibration=calibration,
+            name=f"nsm-file@{host.name}",
+        )
+        self.portmapper = PortmapperClient(host, transport, calibration=calibration)
+
+    def resolve(
+        self, hns_name: HNSName, params: typing.Mapping[str, object]
+    ) -> typing.Generator:
+        records = yield from self.resolver.lookup(
+            self.translate_name(hns_name), RRType.TXT
+        )
+        fields = {}
+        for part in records[0].text.split(";"):
+            key, _, value = part.partition("=")
+            fields[key] = value
+        server_name = fields["server"]
+        address_records = yield from self.resolver.lookup(server_name)
+        address = NetworkAddress(address_records[0].address)
+        port = yield from self.portmapper.get_port(address, FILE_PROGRAM)
+        value = {
+            "endpoint": Endpoint(address, port),
+            "program": FILE_PROGRAM,
+            "suite": "sunrpc",
+            "volume": fields["volume"],
+        }
+        return value, min(r.ttl for r in records)
+
+
+class ClearinghouseFileServiceNSM(NamingSemanticsManager):
+    """File service location for Xerox systems (property + Courier binder)."""
+
+    query_class = "FileService"
+
+    def __init__(
+        self,
+        host: Host,
+        name_service: str,
+        transport: Transport,
+        ch_server: Endpoint,
+        credentials: Credentials,
+        calibration: Calibration = DEFAULT_CALIBRATION,
+        cached: bool = True,
+        **kwargs: object,
+    ):
+        super().__init__(
+            host, name_service, calibration=calibration, cached=cached, **kwargs  # type: ignore[arg-type]
+        )
+        self.client = ClearinghouseClient(
+            host, transport, ch_server, credentials, name=f"nsm-chfile@{host.name}"
+        )
+        self.binder = CourierBinderClient(host, transport, calibration=calibration)
+
+    def resolve(
+        self, hns_name: HNSName, params: typing.Mapping[str, object]
+    ) -> typing.Generator:
+        raw = yield from self.client.retrieve(
+            self.translate_name(hns_name), "fileservice"
+        )
+        host_part, sep, volume = raw.decode("utf-8").partition("|")
+        if not sep:
+            raise ValueError(f"malformed fileservice property {raw!r}")
+        # host_part is itself a three-part CH name; its address property
+        # gives the server's network address.
+        address_raw = yield from self.client.retrieve(host_part, "address")
+        address = NetworkAddress(".".join(str(b) for b in address_raw))
+        port = yield from self.binder.locate(address, FILE_PROGRAM)
+        value = {
+            "endpoint": Endpoint(address, port),
+            "program": FILE_PROGRAM,
+            "suite": "courier",
+            "volume": volume,
+        }
+        return value, self.calibration.meta_ttl_ms

@@ -1,0 +1,108 @@
+"""MailboxLocation NSMs: the HCS mail service's naming needs.
+
+Mail was one of the three core HCS network services.  The query class
+maps a user's global name to (mail host, mailbox); each NSM extracts
+that from its name service's native representation:
+
+- BIND systems store a TXT record ``mailhost=<host>;mailbox=<box>`` on
+  the user's domain name;
+- Clearinghouse systems store a ``mailboxes`` property
+  ``<host>|<box>`` on the user's three-part name.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.bind import BindResolver, RRType
+from repro.clearinghouse import ClearinghouseClient, Credentials
+from repro.core.names import HNSName
+from repro.core.nsm import NamingSemanticsManager
+from repro.harness.calibration import Calibration, DEFAULT_CALIBRATION
+from repro.net.addresses import Endpoint
+from repro.net.host import Host
+from repro.net.transport import Transport
+
+
+def _parse_kv(text: str) -> typing.Dict[str, str]:
+    out = {}
+    for part in text.split(";"):
+        key, sep, value = part.partition("=")
+        if not sep:
+            raise ValueError(f"malformed mail record part {part!r}")
+        out[key] = value
+    return out
+
+
+class BindMailboxNSM(NamingSemanticsManager):
+    """Mailbox location from TXT records in BIND."""
+
+    query_class = "MailboxLocation"
+
+    def __init__(
+        self,
+        host: Host,
+        name_service: str,
+        transport: Transport,
+        bind_server: Endpoint,
+        calibration: Calibration = DEFAULT_CALIBRATION,
+        cached: bool = True,
+        **kwargs: object,
+    ):
+        super().__init__(
+            host, name_service, calibration=calibration, cached=cached, **kwargs  # type: ignore[arg-type]
+        )
+        self.resolver = BindResolver(
+            host,
+            transport,
+            bind_server,
+            marshalling="handcoded",
+            calibration=calibration,
+            name=f"nsm-mail@{host.name}",
+        )
+
+    def resolve(
+        self, hns_name: HNSName, params: typing.Mapping[str, object]
+    ) -> typing.Generator:
+        records = yield from self.resolver.lookup(
+            self.translate_name(hns_name), RRType.TXT
+        )
+        fields = _parse_kv(records[0].text)
+        value = {"mail_host": fields["mailhost"], "mailbox": fields["mailbox"]}
+        return value, min(r.ttl for r in records)
+
+
+class ClearinghouseMailboxNSM(NamingSemanticsManager):
+    """Mailbox location from the Clearinghouse ``mailboxes`` property."""
+
+    query_class = "MailboxLocation"
+
+    def __init__(
+        self,
+        host: Host,
+        name_service: str,
+        transport: Transport,
+        ch_server: Endpoint,
+        credentials: Credentials,
+        calibration: Calibration = DEFAULT_CALIBRATION,
+        cached: bool = True,
+        **kwargs: object,
+    ):
+        super().__init__(
+            host, name_service, calibration=calibration, cached=cached, **kwargs  # type: ignore[arg-type]
+        )
+        self.client = ClearinghouseClient(
+            host, transport, ch_server, credentials, name=f"nsm-chmail@{host.name}"
+        )
+
+    def resolve(
+        self, hns_name: HNSName, params: typing.Mapping[str, object]
+    ) -> typing.Generator:
+        raw = yield from self.client.retrieve(
+            self.translate_name(hns_name), "mailboxes"
+        )
+        mail_host, sep, mailbox = raw.decode("utf-8").partition("|")
+        if not sep:
+            raise ValueError(f"malformed mailboxes property {raw!r}")
+        value = {"mail_host": mail_host, "mailbox": mailbox}
+        return value, self.calibration.meta_ttl_ms

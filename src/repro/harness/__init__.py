@@ -1,0 +1,14 @@
+"""Benchmark harness: calibration constants, experiment runner, tables."""
+
+from repro.harness.calibration import Calibration, DEFAULT_CALIBRATION
+from repro.harness.tables import ComparisonTable, format_table
+from repro.harness.experiment import ExperimentResult, run_simulation
+
+__all__ = [
+    "Calibration",
+    "ComparisonTable",
+    "DEFAULT_CALIBRATION",
+    "ExperimentResult",
+    "format_table",
+    "run_simulation",
+]

@@ -1,0 +1,87 @@
+"""Paper-vs-measured table formatting for the benchmark harness."""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+
+def format_table(
+    headers: typing.Sequence[str],
+    rows: typing.Sequence[typing.Sequence[object]],
+    title: str = "",
+) -> str:
+    """Render an aligned plain-text table."""
+    cells = [[str(h) for h in headers]] + [[str(c) for c in row] for row in rows]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(cells[0], widths)))
+    lines.append(sep)
+    for row in cells[1:]:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+@dataclasses.dataclass
+class ComparisonRow:
+    """One paper-vs-measured row."""
+    label: str
+    paper: float
+    measured: float
+
+    @property
+    def deviation_pct(self) -> float:
+        if self.paper == 0:
+            return 0.0
+        return 100.0 * (self.measured - self.paper) / self.paper
+
+
+class ComparisonTable:
+    """Collects (label, paper value, measured value) rows and renders them.
+
+    Used by every benchmark to print the same rows the paper reports
+    next to what this reproduction measures, with percentage deviation.
+    """
+
+    def __init__(self, title: str, unit: str = "msec"):
+        self.title = title
+        self.unit = unit
+        self.rows: typing.List[ComparisonRow] = []
+
+    def add(self, label: str, paper: float, measured: float) -> ComparisonRow:
+        row = ComparisonRow(label, paper, measured)
+        self.rows.append(row)
+        return row
+
+    def max_abs_deviation_pct(self) -> float:
+        if not self.rows:
+            return 0.0
+        return max(abs(r.deviation_pct) for r in self.rows)
+
+    def render(self) -> str:
+        return format_table(
+            ["quantity", f"paper ({self.unit})", f"measured ({self.unit})", "dev %"],
+            [
+                (
+                    r.label,
+                    f"{r.paper:.2f}",
+                    f"{r.measured:.2f}",
+                    f"{r.deviation_pct:+.1f}",
+                )
+                for r in self.rows
+            ],
+            title=f"== {self.title} ==",
+        )
+
+    def check(self, tolerance_pct: float) -> None:
+        """Raise AssertionError if any row deviates more than tolerance."""
+        for row in self.rows:
+            if abs(row.deviation_pct) > tolerance_pct:
+                raise AssertionError(
+                    f"{self.title}: {row.label} deviates {row.deviation_pct:+.1f}% "
+                    f"(paper {row.paper}, measured {row.measured:.2f}, "
+                    f"tolerance {tolerance_pct}%)"
+                )

@@ -1,0 +1,23 @@
+"""The HCS heterogeneous file system, built on the HNS.
+
+The conclusions describe "a heterogeneous file system that mediates
+access to the set of local file systems present in the environment" as
+the other application of the HNS/NSM structure; the related-work
+section contrasts it with Jasmine's plug-ins (local procedures, a
+location database per file) — here location lives in the *name
+services* and access goes through FileService NSMs.
+
+Pieces:
+
+- :class:`~repro.hcsfs.fileserver.FileServer` — the ``hcsfile`` HRPC
+  program exporting volumes from a host's disk;
+- :class:`~repro.hcsfs.client.HcsFileSystem` — a Fetch/Store interface
+  over global names: the FileService NSM maps an HNS name to (server
+  binding, volume), the file system caches that binding, and reads and
+  writes flow over HRPC.
+"""
+
+from repro.hcsfs.fileserver import FILE_PROGRAM, FileServer, FileServerError
+from repro.hcsfs.client import HcsFileSystem
+
+__all__ = ["FILE_PROGRAM", "FileServer", "FileServerError", "HcsFileSystem"]

@@ -1,0 +1,56 @@
+"""Heterogeneous RPC (HRPC).
+
+The HRPC facility [Bershad et al. 1987] separates an RPC system into
+five components — stubs, binding protocol, data representation,
+transport protocol, and control protocol — each a "black box" that can
+be mixed and matched *at bind time* to emulate a foreign RPC system.
+
+This package models:
+
+- :class:`~repro.hrpc.binding.HRPCBinding` — the system-independent
+  handle a client receives, naming the component set plus the server
+  endpoint;
+- :mod:`~repro.hrpc.suites` — the component sets (Sun RPC = UDP + XDR +
+  portmapper binding; Courier = stream + Courier representation +
+  Courier binder; Raw = the request/response protocol the HNS uses to
+  talk to BIND) with their calibrated per-call control costs;
+- :class:`~repro.hrpc.server.HrpcServer` — server-side program/procedure
+  dispatch;
+- :class:`~repro.hrpc.runtime.HrpcRuntime` — client-side call execution
+  that selects components from the binding dynamically;
+- :class:`~repro.hrpc.portmapper.Portmapper` and
+  :class:`~repro.hrpc.courier_binder.CourierBinder` — the native
+  binding protocols the binding NSMs must emulate.
+"""
+
+from repro.hrpc.binding import HRPCBinding
+from repro.hrpc.errors import (
+    BindingProtocolError,
+    HrpcError,
+    NoSuchProcedure,
+    NoSuchProgram,
+)
+from repro.hrpc.suites import PROTOCOL_SUITES, ProtocolSuite, suite_named
+from repro.hrpc.server import HrpcServer, RpcRequest, RpcReply
+from repro.hrpc.runtime import HrpcRuntime
+from repro.hrpc.portmapper import Portmapper, PortmapperClient
+from repro.hrpc.courier_binder import CourierBinder, CourierBinderClient
+
+__all__ = [
+    "BindingProtocolError",
+    "CourierBinder",
+    "CourierBinderClient",
+    "HRPCBinding",
+    "HrpcError",
+    "HrpcRuntime",
+    "HrpcServer",
+    "NoSuchProcedure",
+    "NoSuchProgram",
+    "PROTOCOL_SUITES",
+    "Portmapper",
+    "PortmapperClient",
+    "ProtocolSuite",
+    "RpcReply",
+    "RpcRequest",
+    "suite_named",
+]

@@ -1,0 +1,17 @@
+"""HRPC failure modes."""
+
+
+class HrpcError(Exception):
+    """Base class for HRPC-level failures."""
+
+
+class NoSuchProgram(HrpcError):
+    """The destination host has no such RPC program registered."""
+
+
+class NoSuchProcedure(HrpcError):
+    """The program exists but lacks the named procedure."""
+
+
+class BindingProtocolError(HrpcError):
+    """A native binding protocol (portmapper, Courier binder) failed."""

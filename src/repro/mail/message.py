@@ -1,0 +1,41 @@
+"""Mail messages addressed by global HNS names."""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+import typing
+
+from repro.core.names import HNSName
+
+_msg_ids = itertools.count(1)
+
+
+@dataclasses.dataclass
+class MailMessage:
+    """One message; recipients are HNS names, so they may live in any
+    of the federated name services."""
+
+    sender: HNSName
+    recipients: typing.Tuple[HNSName, ...]
+    subject: str
+    body: str
+    msg_id: int = dataclasses.field(default_factory=lambda: next(_msg_ids))
+
+    def __post_init__(self) -> None:
+        if not self.recipients:
+            raise ValueError("a message needs at least one recipient")
+        self.recipients = tuple(self.recipients)
+
+    @property
+    def size_bytes(self) -> int:
+        return (
+            len(self.subject)
+            + len(self.body)
+            + sum(r.wire_size() for r in self.recipients)
+            + self.sender.wire_size()
+            + 64
+        )
+
+    def __str__(self) -> str:
+        return f"<msg #{self.msg_id} {self.sender} -> {len(self.recipients)} rcpt: {self.subject!r}>"

@@ -1,0 +1,25 @@
+"""Network-layer exceptions."""
+
+
+class NetworkError(Exception):
+    """Base class for all simulated network failures."""
+
+
+class HostDown(NetworkError):
+    """The destination host is crashed or powered off."""
+
+
+class NoRouteToHost(NetworkError):
+    """No segment path exists between source and destination."""
+
+
+class ConnectionRefused(NetworkError):
+    """No service is bound to the destination port (stream transport)."""
+
+
+class TransportTimeout(NetworkError):
+    """A reliable operation did not complete within its deadline."""
+
+
+class PortInUse(NetworkError):
+    """Attempt to bind a port that already has a service."""

@@ -1,0 +1,65 @@
+"""A shared Ethernet segment.
+
+The paper's measurements were taken between MicroVAX-IIs "joined by an
+Ethernet" at light load.  The segment charges a latency model per
+message (base propagation + per-byte transfer) and can drop messages
+with a configured probability for failure-injection experiments.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.net.host import Host
+from repro.net.messages import Datagram
+from repro.sim.kernel import Environment
+from repro.sim.latency import ConstantLatency, LatencyModel
+
+
+class Ethernet:
+    """A broadcast segment connecting a set of hosts."""
+
+    def __init__(
+        self,
+        env: Environment,
+        name: str = "ether0",
+        latency: typing.Optional[LatencyModel] = None,
+        drop_probability: float = 0.0,
+    ):
+        if not 0 <= drop_probability < 1:
+            raise ValueError(f"bad drop probability {drop_probability}")
+        self.env = env
+        self.name = name
+        # Default: ~1 ms propagation + 10 Mbit/s-ish transfer cost.
+        self.latency = latency or ConstantLatency(1.0, per_byte_ms=0.0008)
+        self.drop_probability = drop_probability
+        self._hosts: typing.Dict[str, Host] = {}
+
+    def attach(self, host: Host) -> None:
+        if str(host.address) in self._hosts:
+            raise ValueError(f"address {host.address} already on {self.name}")
+        self._hosts[str(host.address)] = host
+
+    def detach(self, host: Host) -> None:
+        self._hosts.pop(str(host.address), None)
+
+    def host_for(self, address: typing.Union[str, object]) -> typing.Optional[Host]:
+        return self._hosts.get(str(address))
+
+    @property
+    def hosts(self) -> typing.List[Host]:
+        return list(self._hosts.values())
+
+    def carries(self, address: object) -> bool:
+        return str(address) in self._hosts
+
+    def transmit_delay(self, datagram: Datagram) -> float:
+        """Sample the wire time for one message."""
+        rng = self.env.rng.stream(f"ether:{self.name}")
+        return self.latency.sample(rng, datagram.size_bytes)
+
+    def would_drop(self) -> bool:
+        if self.drop_probability == 0.0:
+            return False
+        rng = self.env.rng.stream(f"ether-drop:{self.name}")
+        return rng.random() < self.drop_probability

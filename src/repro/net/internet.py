@@ -1,0 +1,139 @@
+"""The internetwork topology: segments, hosts, and routing.
+
+The HCS environment is one Ethernet, but the model supports several
+segments joined by gateways (each inter-segment hop adds a fixed
+forwarding delay), which the scalability ablations use.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.net.addresses import AddressAllocator, NetworkAddress
+from repro.net.errors import NoRouteToHost
+from repro.net.ethernet import Ethernet
+from repro.net.host import Host
+from repro.sim.kernel import Environment
+
+
+class Internetwork:
+    """Registry of hosts and segments plus the routing function."""
+
+    def __init__(
+        self,
+        env: Environment,
+        gateway_hop_ms: float = 8.0,
+    ):
+        if gateway_hop_ms < 0:
+            raise ValueError("gateway hop delay must be non-negative")
+        self.env = env
+        self.gateway_hop_ms = gateway_hop_ms
+        self.segments: typing.List[Ethernet] = []
+        self._hosts_by_name: typing.Dict[str, Host] = {}
+        self._hosts_by_address: typing.Dict[str, Host] = {}
+        self._segment_of: typing.Dict[str, Ethernet] = {}
+        self._allocators: typing.Dict[str, AddressAllocator] = {}
+
+    # ------------------------------------------------------------------
+    # Topology construction
+    # ------------------------------------------------------------------
+    def add_segment(
+        self, name: str = "", prefix: str = "", **ether_kwargs: object
+    ) -> Ethernet:
+        """Create and register a new Ethernet segment."""
+        index = len(self.segments)
+        name = name or f"ether{index}"
+        prefix = prefix or f"128.95.{index + 1}"
+        segment = Ethernet(self.env, name=name, **ether_kwargs)  # type: ignore[arg-type]
+        self.segments.append(segment)
+        self._allocators[name] = AddressAllocator(prefix)
+        return segment
+
+    def add_host(
+        self,
+        name: str,
+        segment: typing.Optional[Ethernet] = None,
+        system_type: str = "unix",
+        **host_kwargs: object,
+    ) -> Host:
+        """Create a host, allocate it an address, attach it to a segment."""
+        if name in self._hosts_by_name:
+            raise ValueError(f"duplicate host name {name!r}")
+        if segment is None:
+            if not self.segments:
+                self.add_segment()
+            segment = self.segments[0]
+        if segment not in self.segments:
+            raise ValueError(f"segment {segment.name} not part of this internet")
+        address = self._allocators[segment.name].allocate()
+        host = Host(
+            self.env, name, address, system_type=system_type, **host_kwargs  # type: ignore[arg-type]
+        )
+        segment.attach(host)
+        self._hosts_by_name[name] = host
+        self._hosts_by_address[str(address)] = host
+        self._segment_of[str(address)] = segment
+        return host
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def host_named(self, name: str) -> typing.Optional[Host]:
+        return self._hosts_by_name.get(name)
+
+    def host_at(self, address: typing.Union[str, NetworkAddress]) -> typing.Optional[Host]:
+        return self._hosts_by_address.get(str(address))
+
+    @property
+    def hosts(self) -> typing.List[Host]:
+        return list(self._hosts_by_name.values())
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    def _route(
+        self,
+        src: typing.Union[str, NetworkAddress],
+        dst: typing.Union[str, NetworkAddress],
+    ) -> typing.Tuple[Ethernet, int]:
+        """(first segment, gateway hops) for src -> dst, or NoRouteToHost."""
+        src_seg = self._segment_of.get(str(src))
+        dst_seg = self._segment_of.get(str(dst))
+        if src_seg is None or dst_seg is None:
+            raise NoRouteToHost(f"{src} -> {dst}")
+        hops = 0 if src_seg is dst_seg else 1
+        return src_seg, hops
+
+    def path_delay(
+        self,
+        src: typing.Union[str, NetworkAddress],
+        dst: typing.Union[str, NetworkAddress],
+        size_bytes: int,
+    ) -> float:
+        """Sampled one-way delay between two attached addresses."""
+        from repro.net.messages import Datagram  # local import: cycle guard
+
+        segment, hops = self._route(src, dst)
+        probe = Datagram.__new__(Datagram)  # latency only needs the size
+        probe.size_bytes = size_bytes
+        delay = segment.transmit_delay(probe)
+        if hops:
+            dst_seg = self._segment_of[str(dst)]
+            delay += dst_seg.transmit_delay(probe) + self.gateway_hop_ms * hops
+        return delay
+
+    def segment_would_drop(
+        self,
+        src: typing.Union[str, NetworkAddress],
+        dst: typing.Union[str, NetworkAddress],
+    ) -> bool:
+        """Loss decision for a datagram along the route."""
+        segment, hops = self._route(str(src), str(dst))
+        if segment.would_drop():
+            return True
+        if hops:
+            return self._segment_of[str(dst)].would_drop()
+        return False
+
+    def same_host(self, a: typing.Union[str, NetworkAddress], b: typing.Union[str, NetworkAddress]) -> bool:
+        return str(a) == str(b)

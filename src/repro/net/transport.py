@@ -1,0 +1,382 @@
+"""Transports: datagram (UDP-like) and stream (TCP-like) delivery.
+
+The HRPC prototype in the paper mixes and matches transport components
+(Sun RPC over UDP, Courier over SPP/TCP, raw TCP and UDP message
+passing).  Both transports here deliver :class:`Datagram` objects to a
+:class:`~repro.net.host.Service` bound on the destination host and
+support request/response with reply correlation, differing in their
+failure behaviour:
+
+- **DatagramTransport**: unreliable; messages to dead hosts or unbound
+  ports vanish; requests retransmit a few times and then raise
+  :class:`TransportTimeout`.
+- **StreamTransport**: connection-oriented; connecting to a dead host
+  raises :class:`HostDown`, to an unbound port :class:`ConnectionRefused`,
+  and delivery is reliable once connected (at the cost of an extra
+  round-trip of setup latency on each exchange).
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.net.errors import (
+    ConnectionRefused,
+    HostDown,
+    NoRouteToHost,
+    TransportTimeout,
+)
+from repro.net.host import Host
+from repro.net.messages import Datagram
+from repro.net.addresses import Endpoint
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.net.internet import Internetwork
+
+
+class RemoteCallError(Exception):
+    """An exception raised by the remote service, carried back to the caller.
+
+    The original exception is available as ``__cause__``-style chaining
+    via the ``remote_exception`` attribute.
+    """
+
+    def __init__(self, remote_exception: BaseException):
+        super().__init__(f"remote service raised {remote_exception!r}")
+        self.remote_exception = remote_exception
+
+
+class Transport:
+    """Common machinery for both transports."""
+
+    #: default request timeout (ms); generous relative to testbed RTTs
+    DEFAULT_TIMEOUT_MS = 2000.0
+
+    def __init__(self, internet: "Internetwork", name: str):
+        self.internet = internet
+        self.env = internet.env
+        self.name = name
+
+    # -- one-way ---------------------------------------------------------
+    def send(
+        self,
+        src_host: Host,
+        destination: Endpoint,
+        payload: object,
+        size_bytes: int = 0,
+        reply_to: typing.Optional[Endpoint] = None,
+        reply_sink: typing.Optional[typing.Callable[[object, int], None]] = None,
+    ) -> typing.Generator:
+        """Fire-and-forget delivery (may silently vanish on datagrams)."""
+        raise NotImplementedError
+
+    # -- request/response --------------------------------------------------
+    def request(
+        self,
+        src_host: Host,
+        destination: Endpoint,
+        payload: object,
+        size_bytes: int = 0,
+        timeout_ms: typing.Optional[float] = None,
+    ) -> typing.Generator:
+        """Send a request and yield until the reply payload arrives.
+
+        Returns the reply payload; raises a network error on failure, or
+        :class:`RemoteCallError` if the remote service itself raised.
+        """
+        raise NotImplementedError
+
+    # -- internals --------------------------------------------------------
+    def _wire_delay(self, src: Host, dst_address: object, size_bytes: int) -> float:
+        """Sampled latency along the route; raises NoRouteToHost."""
+        return self.internet.path_delay(src.address, dst_address, size_bytes)
+
+    def _deliver(
+        self,
+        datagram: Datagram,
+        reply_event,
+    ) -> typing.Generator:
+        """Run after the wire delay: hand the message to the bound service.
+
+        ``reply_event`` (may be None for one-way sends) is failed or
+        succeeded according to what the service does.
+        """
+        env = self.env
+        dst_host = self.internet.host_at(datagram.destination.address)
+        if dst_host is None or not dst_host.is_up:
+            # Message to a dead host: datagram semantics say it vanishes.
+            env.trace.emit(
+                "net", f"lost: {datagram} (host down/unknown)", transport=self.name
+            )
+            return
+        service = dst_host.service_at(datagram.destination.port)
+        if service is None:
+            env.trace.emit(
+                "net", f"lost: {datagram} (no service)", transport=self.name
+            )
+            return
+        env.stats.counter(f"net.{self.name}.delivered").increment()
+
+        replied = []
+
+        def responder(payload: object, size_bytes: int = 0) -> None:
+            """Send the reply back across the wire to the requester."""
+            if reply_event is None:
+                return
+            if replied:
+                raise RuntimeError("service replied twice to one request")
+            replied.append(True)
+
+            def reply_trip():
+                delay = self._wire_delay(
+                    dst_host, datagram.source.address, size_bytes
+                )
+                yield env.timeout(delay)
+                src = self.internet.host_at(datagram.source.address)
+                if src is None or not src.is_up:
+                    env.trace.emit("net", "reply lost: requester down")
+                    return
+                if not reply_event.triggered:
+                    reply_event.succeed(payload)
+
+            env.process(reply_trip(), name=f"{self.name}.reply")
+
+        def run_handler():
+            try:
+                yield from service.handle(datagram, responder)
+            except BaseException as exc:  # noqa: BLE001 - carried to caller
+                if reply_event is not None and not reply_event.triggered:
+                    reply_event.fail(RemoteCallError(exc))
+                else:
+                    raise
+
+        env.process(run_handler(), name=f"{self.name}.handler")
+        return
+        yield  # pragma: no cover - makes this a generator
+
+
+class DatagramTransport(Transport):
+    """Unreliable datagram delivery with retransmission on request()."""
+
+    def __init__(
+        self,
+        internet: "Internetwork",
+        name: str = "udp",
+        retries: int = 3,
+        retry_timeout_ms: float = 500.0,
+    ):
+        super().__init__(internet, name)
+        if retries < 0:
+            raise ValueError("retries must be >= 0")
+        self.retries = retries
+        self.retry_timeout_ms = retry_timeout_ms
+
+    def send(
+        self,
+        src_host: Host,
+        destination: Endpoint,
+        payload: object,
+        size_bytes: int = 0,
+        reply_to: typing.Optional[Endpoint] = None,
+        reply_event=None,
+    ) -> typing.Generator:
+        if not src_host.is_up:
+            raise HostDown(f"source host {src_host.name} is down")
+        datagram = Datagram(
+            source=reply_to or src_host.ephemeral_endpoint(),
+            destination=destination,
+            payload=payload,
+            size_bytes=size_bytes,
+            reply_to=reply_to,
+        )
+        segment_drop = self.internet.segment_would_drop(
+            src_host.address, destination.address
+        )
+        delay = self._wire_delay(src_host, destination.address, size_bytes)
+        yield self.env.timeout(delay)
+        if segment_drop:
+            self.env.trace.emit("net", f"dropped on wire: {datagram}")
+            return
+        yield from self._deliver(datagram, reply_event)
+
+    def broadcast(
+        self,
+        src_host: Host,
+        port: int,
+        payload: object,
+        size_bytes: int = 0,
+        wait_ms: float = 100.0,
+        first_only: bool = False,
+    ) -> typing.Generator:
+        """Send to every host on the source's segment; gather replies.
+
+        Models the multicast location technique [Cheriton & Mann 1984].
+        Returns the list of reply payloads received within ``wait_ms``
+        (or just the first, if ``first_only``).  Every host on the wire
+        receives and processes the packet — the cost that makes
+        broadcast-based location unattractive at scale.
+        """
+        if not src_host.is_up:
+            raise HostDown(f"source host {src_host.name} is down")
+        env = self.env
+        segment, _ = self.internet._route(src_host.address, src_host.address)
+        replies: typing.List[object] = []
+        first = env.event()
+
+        def fanout(target):
+            datagram = Datagram(
+                source=src_host.ephemeral_endpoint(),
+                destination=Endpoint(target.address, port),
+                payload=payload,
+                size_bytes=size_bytes,
+            )
+            delay = self._wire_delay(src_host, target.address, size_bytes)
+            yield env.timeout(delay)
+            if segment.would_drop():
+                return
+            collector = env.event()
+            collector._add_callback(self._collect_into(replies, first))
+            yield from self._deliver(datagram, collector)
+
+        for target in segment.hosts:
+            if target is src_host:
+                continue
+            env.process(fanout(target), name=f"{self.name}.bcast")
+        env.stats.counter(f"net.{self.name}.broadcasts").increment()
+        if first_only:
+            timer = env.timeout(wait_ms)
+            yield env.any_of([first, timer])
+            return replies[:1]
+        yield env.timeout(wait_ms)
+        return list(replies)
+
+    @staticmethod
+    def _collect_into(replies: typing.List[object], first):
+        def callback(event):
+            if not event.ok:
+                event.defuse()
+                return
+            replies.append(event._value)
+            if not first.triggered:
+                first.succeed(event._value)
+
+        return callback
+
+    def request(
+        self,
+        src_host: Host,
+        destination: Endpoint,
+        payload: object,
+        size_bytes: int = 0,
+        timeout_ms: typing.Optional[float] = None,
+    ) -> typing.Generator:
+        env = self.env
+        deadline = timeout_ms if timeout_ms is not None else self.retry_timeout_ms
+        reply_to = src_host.ephemeral_endpoint()
+        last_error: typing.Optional[Exception] = None
+        for attempt in range(self.retries + 1):
+            reply_event = env.event()
+            try:
+                yield from self.send(
+                    src_host,
+                    destination,
+                    payload,
+                    size_bytes,
+                    reply_to=reply_to,
+                    reply_event=reply_event,
+                )
+            except NoRouteToHost:
+                raise
+            timer = env.timeout(deadline)
+            outcome = env.any_of([reply_event, timer])
+            try:
+                yield outcome
+            except RemoteCallError:
+                raise
+            if reply_event.triggered:
+                return reply_event.value
+            env.stats.counter(f"net.{self.name}.retransmits").increment()
+            last_error = TransportTimeout(
+                f"no reply from {destination} after attempt {attempt + 1}"
+            )
+            # Abandon the stale reply event; a late reply is ignored.
+            reply_event.defuse()
+        raise last_error or TransportTimeout(str(destination))
+
+
+class StreamTransport(Transport):
+    """Reliable, connection-oriented delivery (TCP-like).
+
+    Each exchange pays one extra round trip of connection setup, the
+    price of reliability the paper's TCP-based systems paid.
+    """
+
+    def __init__(self, internet: "Internetwork", name: str = "tcp"):
+        super().__init__(internet, name)
+
+    def _connect(self, src_host: Host, destination: Endpoint) -> typing.Generator:
+        """Connection setup: one round trip; validates the far end."""
+        if not src_host.is_up:
+            raise HostDown(f"source host {src_host.name} is down")
+        rtt = self._wire_delay(src_host, destination.address, 64) + self._wire_delay(
+            src_host, destination.address, 64
+        )
+        yield self.env.timeout(rtt)
+        dst_host = self.internet.host_at(destination.address)
+        if dst_host is None or not dst_host.is_up:
+            raise HostDown(f"{destination.address} unreachable")
+        if dst_host.service_at(destination.port) is None:
+            raise ConnectionRefused(str(destination))
+
+    def send(
+        self,
+        src_host: Host,
+        destination: Endpoint,
+        payload: object,
+        size_bytes: int = 0,
+        reply_to: typing.Optional[Endpoint] = None,
+        reply_event=None,
+    ) -> typing.Generator:
+        yield from self._connect(src_host, destination)
+        datagram = Datagram(
+            source=reply_to or src_host.ephemeral_endpoint(),
+            destination=destination,
+            payload=payload,
+            size_bytes=size_bytes,
+            reply_to=reply_to,
+        )
+        delay = self._wire_delay(src_host, destination.address, size_bytes)
+        yield self.env.timeout(delay)
+        # Reliable: destination validated at connect time; if it crashed
+        # between connect and transfer, surface the failure loudly.
+        dst_host = self.internet.host_at(destination.address)
+        if dst_host is None or not dst_host.is_up:
+            raise HostDown(f"{destination.address} died mid-transfer")
+        yield from self._deliver(datagram, reply_event)
+
+    def request(
+        self,
+        src_host: Host,
+        destination: Endpoint,
+        payload: object,
+        size_bytes: int = 0,
+        timeout_ms: typing.Optional[float] = None,
+    ) -> typing.Generator:
+        env = self.env
+        deadline = timeout_ms if timeout_ms is not None else self.DEFAULT_TIMEOUT_MS
+        reply_to = src_host.ephemeral_endpoint()
+        reply_event = env.event()
+        yield from self.send(
+            src_host,
+            destination,
+            payload,
+            size_bytes,
+            reply_to=reply_to,
+            reply_event=reply_event,
+        )
+        timer = env.timeout(deadline)
+        yield env.any_of([reply_event, timer])
+        if reply_event.triggered:
+            return reply_event.value
+        reply_event.defuse()
+        raise TransportTimeout(f"no reply from {destination} within {deadline} ms")

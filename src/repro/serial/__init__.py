@@ -1,0 +1,58 @@
+"""Data representation substrate: IDL, wire formats, marshallers.
+
+The paper's Table 3.2 hinges on a distinction this package makes
+concrete:
+
+- **Hand-coded marshallers** (:mod:`repro.serial.handcoded`) do one pass
+  over a buffer with no temporary allocation — the "standard BIND
+  library routines" that cost 0.65/2.6 ms for 1/6 resource records.
+- **Generated marshallers** (:mod:`repro.serial.compiler` +
+  :mod:`repro.serial.generated`) are produced by a stub compiler from an
+  IDL description.  They are *correct* but pay for "procedure calls,
+  indirect calls to marshalling routines, unnecessary dynamic memory
+  allocation, and unnecessary levels of marshalling" — the cost
+  accounting counts exactly those operations.
+
+Both produce identical wire bytes for a given representation
+(:mod:`repro.serial.xdr` Sun-style or :mod:`repro.serial.courier`
+Xerox-style); only the simulated CPU cost differs, which is the whole
+point of the paper's cache-format experiment.
+"""
+
+from repro.serial.idl import (
+    ArrayType,
+    BoolType,
+    IdlError,
+    IdlType,
+    OpaqueType,
+    OptionalType,
+    StringType,
+    StructType,
+    U32Type,
+)
+from repro.serial.wire import WireReader, WireWriter
+from repro.serial.xdr import XdrRepresentation
+from repro.serial.courier import CourierRepresentation
+from repro.serial.handcoded import HandcodedMarshaller
+from repro.serial.compiler import StubCompiler
+from repro.serial.generated import GeneratedMarshaller, MarshalCost
+
+__all__ = [
+    "ArrayType",
+    "BoolType",
+    "CourierRepresentation",
+    "GeneratedMarshaller",
+    "HandcodedMarshaller",
+    "IdlError",
+    "IdlType",
+    "MarshalCost",
+    "OpaqueType",
+    "OptionalType",
+    "StringType",
+    "StructType",
+    "StubCompiler",
+    "U32Type",
+    "WireReader",
+    "WireWriter",
+    "XdrRepresentation",
+]

@@ -1,0 +1,109 @@
+"""Xerox Courier-style data representation.
+
+Courier works in 16-bit units: integers are 16- or 32-bit, strings are
+length-prefixed sequences padded to 2-byte boundaries.  It produces
+different bytes than XDR for the same IDL value — which is exactly the
+heterogeneity the HRPC data-representation component hides.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.serial.idl import (
+    ArrayType,
+    BoolType,
+    IdlError,
+    IdlType,
+    OpaqueType,
+    OptionalType,
+    StringType,
+    StructType,
+    U32Type,
+)
+from repro.serial.wire import WireReader, WireWriter
+
+
+class CourierRepresentation:
+    """Encode/decode IDL values in Courier format (2-byte alignment)."""
+
+    name = "courier"
+    alignment = 2
+
+    def encode(self, idl_type: IdlType, value: object) -> bytes:
+        idl_type.validate(value)
+        writer = WireWriter()
+        self._encode(idl_type, value, writer)
+        return writer.getvalue()
+
+    def decode(self, idl_type: IdlType, data: bytes) -> object:
+        reader = WireReader(data)
+        value = self._decode(idl_type, reader)
+        reader.expect_exhausted()
+        return value
+
+    # ------------------------------------------------------------------
+    def _encode(self, idl_type: IdlType, value: object, writer: WireWriter) -> None:
+        if isinstance(idl_type, U32Type):
+            writer.u32(typing.cast(int, value))
+        elif isinstance(idl_type, BoolType):
+            writer.u16(1 if value else 0)
+        elif isinstance(idl_type, StringType):
+            raw = typing.cast(str, value).encode("utf-8")
+            writer.u16(len(raw))
+            writer.raw(raw)
+            writer.pad_to(self.alignment)
+        elif isinstance(idl_type, OpaqueType):
+            raw = bytes(typing.cast(bytes, value))
+            writer.u16(len(raw))
+            writer.raw(raw)
+            writer.pad_to(self.alignment)
+        elif isinstance(idl_type, ArrayType):
+            items = typing.cast(list, value)
+            writer.u16(len(items))
+            for item in items:
+                self._encode(idl_type.element, item, writer)
+        elif isinstance(idl_type, StructType):
+            record = typing.cast(dict, value)
+            for field_name, field_type in idl_type.fields:
+                self._encode(field_type, record[field_name], writer)
+        elif isinstance(idl_type, OptionalType):
+            if value is None:
+                writer.u16(0)
+            else:
+                writer.u16(1)
+                self._encode(idl_type.inner, value, writer)
+        else:
+            raise IdlError(f"courier cannot encode {idl_type!r}")
+
+    def _decode(self, idl_type: IdlType, reader: WireReader) -> object:
+        if isinstance(idl_type, U32Type):
+            return reader.u32()
+        if isinstance(idl_type, BoolType):
+            return reader.u16() != 0
+        if isinstance(idl_type, StringType):
+            length = reader.u16()
+            raw = reader.raw(length)
+            reader.skip_to(self.alignment)
+            return raw.decode("utf-8")
+        if isinstance(idl_type, OpaqueType):
+            length = reader.u16()
+            raw = reader.raw(length)
+            reader.skip_to(self.alignment)
+            return raw
+        if isinstance(idl_type, ArrayType):
+            length = reader.u16()
+            if length > idl_type.max_length:
+                raise IdlError(f"array length {length} exceeds declared max")
+            return [self._decode(idl_type.element, reader) for _ in range(length)]
+        if isinstance(idl_type, StructType):
+            return {
+                field_name: self._decode(field_type, reader)
+                for field_name, field_type in idl_type.fields
+            }
+        if isinstance(idl_type, OptionalType):
+            present = reader.u16()
+            if present == 0:
+                return None
+            return self._decode(idl_type.inner, reader)
+        raise IdlError(f"courier cannot decode {idl_type!r}")

@@ -1,0 +1,94 @@
+"""Low-level byte stream reader/writer used by both representations."""
+
+from __future__ import annotations
+
+import struct
+
+
+class WireError(Exception):
+    """Malformed wire data (truncation, bad lengths)."""
+
+
+class WireWriter:
+    """Accumulates bytes; representations decide sizes and alignment."""
+
+    def __init__(self) -> None:
+        self._chunks = bytearray()
+
+    def u8(self, value: int) -> None:
+        if not 0 <= value < 2**8:
+            raise WireError(f"u8 out of range: {value}")
+        self._chunks += struct.pack(">B", value)
+
+    def u16(self, value: int) -> None:
+        if not 0 <= value < 2**16:
+            raise WireError(f"u16 out of range: {value}")
+        self._chunks += struct.pack(">H", value)
+
+    def u32(self, value: int) -> None:
+        if not 0 <= value < 2**32:
+            raise WireError(f"u32 out of range: {value}")
+        self._chunks += struct.pack(">I", value)
+
+    def raw(self, data: bytes) -> None:
+        self._chunks += data
+
+    def pad_to(self, alignment: int) -> None:
+        remainder = len(self._chunks) % alignment
+        if remainder:
+            self._chunks += b"\x00" * (alignment - remainder)
+
+    def getvalue(self) -> bytes:
+        return bytes(self._chunks)
+
+    def __len__(self) -> int:
+        return len(self._chunks)
+
+
+class WireReader:
+    """Sequential reader with truncation checks."""
+
+    def __init__(self, data: bytes):
+        self._data = data
+        self._offset = 0
+
+    @property
+    def offset(self) -> int:
+        return self._offset
+
+    @property
+    def remaining(self) -> int:
+        return len(self._data) - self._offset
+
+    def _take(self, count: int) -> bytes:
+        if count < 0:
+            raise WireError(f"negative read of {count} bytes")
+        if self._offset + count > len(self._data):
+            raise WireError(
+                f"truncated: need {count} bytes at offset {self._offset}, "
+                f"only {self.remaining} remain"
+            )
+        chunk = self._data[self._offset : self._offset + count]
+        self._offset += count
+        return chunk
+
+    def u8(self) -> int:
+        return struct.unpack(">B", self._take(1))[0]
+
+    def u16(self) -> int:
+        return struct.unpack(">H", self._take(2))[0]
+
+    def u32(self) -> int:
+        return struct.unpack(">I", self._take(4))[0]
+
+    def raw(self, count: int) -> bytes:
+        return self._take(count)
+
+    def skip_to(self, alignment: int) -> None:
+        remainder = self._offset % alignment
+        if remainder:
+            self._take(alignment - remainder)
+
+    def expect_exhausted(self) -> None:
+        if self.remaining:
+            raise WireError(f"{self.remaining} trailing bytes after decode")

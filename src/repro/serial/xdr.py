@@ -1,0 +1,109 @@
+"""Sun XDR-style data representation.
+
+Everything is encoded in multiples of four bytes, big-endian, with
+length-prefixed strings/opaques padded to 4-byte boundaries — the data
+representation of Sun RPC, one of the "black boxes" the HRPC runtime
+mixes and matches.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.serial.idl import (
+    ArrayType,
+    BoolType,
+    IdlError,
+    IdlType,
+    OpaqueType,
+    OptionalType,
+    StringType,
+    StructType,
+    U32Type,
+)
+from repro.serial.wire import WireReader, WireWriter
+
+
+class XdrRepresentation:
+    """Encode/decode IDL values in XDR format."""
+
+    name = "xdr"
+    alignment = 4
+
+    def encode(self, idl_type: IdlType, value: object) -> bytes:
+        idl_type.validate(value)
+        writer = WireWriter()
+        self._encode(idl_type, value, writer)
+        return writer.getvalue()
+
+    def decode(self, idl_type: IdlType, data: bytes) -> object:
+        reader = WireReader(data)
+        value = self._decode(idl_type, reader)
+        reader.expect_exhausted()
+        return value
+
+    # ------------------------------------------------------------------
+    def _encode(self, idl_type: IdlType, value: object, writer: WireWriter) -> None:
+        if isinstance(idl_type, U32Type):
+            writer.u32(typing.cast(int, value))
+        elif isinstance(idl_type, BoolType):
+            writer.u32(1 if value else 0)
+        elif isinstance(idl_type, StringType):
+            raw = typing.cast(str, value).encode("utf-8")
+            writer.u32(len(raw))
+            writer.raw(raw)
+            writer.pad_to(self.alignment)
+        elif isinstance(idl_type, OpaqueType):
+            raw = bytes(typing.cast(bytes, value))
+            writer.u32(len(raw))
+            writer.raw(raw)
+            writer.pad_to(self.alignment)
+        elif isinstance(idl_type, ArrayType):
+            items = typing.cast(list, value)
+            writer.u32(len(items))
+            for item in items:
+                self._encode(idl_type.element, item, writer)
+        elif isinstance(idl_type, StructType):
+            record = typing.cast(dict, value)
+            for field_name, field_type in idl_type.fields:
+                self._encode(field_type, record[field_name], writer)
+        elif isinstance(idl_type, OptionalType):
+            if value is None:
+                writer.u32(0)
+            else:
+                writer.u32(1)
+                self._encode(idl_type.inner, value, writer)
+        else:
+            raise IdlError(f"xdr cannot encode {idl_type!r}")
+
+    def _decode(self, idl_type: IdlType, reader: WireReader) -> object:
+        if isinstance(idl_type, U32Type):
+            return reader.u32()
+        if isinstance(idl_type, BoolType):
+            return reader.u32() != 0
+        if isinstance(idl_type, StringType):
+            length = reader.u32()
+            raw = reader.raw(length)
+            reader.skip_to(self.alignment)
+            return raw.decode("utf-8")
+        if isinstance(idl_type, OpaqueType):
+            length = reader.u32()
+            raw = reader.raw(length)
+            reader.skip_to(self.alignment)
+            return raw
+        if isinstance(idl_type, ArrayType):
+            length = reader.u32()
+            if length > idl_type.max_length:
+                raise IdlError(f"array length {length} exceeds declared max")
+            return [self._decode(idl_type.element, reader) for _ in range(length)]
+        if isinstance(idl_type, StructType):
+            return {
+                field_name: self._decode(field_type, reader)
+                for field_name, field_type in idl_type.fields
+            }
+        if isinstance(idl_type, OptionalType):
+            present = reader.u32()
+            if present == 0:
+                return None
+            return self._decode(idl_type.inner, reader)
+        raise IdlError(f"xdr cannot decode {idl_type!r}")

@@ -1,0 +1,68 @@
+"""Deterministic discrete-event simulation kernel.
+
+This package is the substrate on which every other subsystem runs.  The
+paper's evaluation (Tables 3.1 and 3.2, and the surrounding measurements)
+is a function of *how many* remote calls, cache probes, disk accesses, and
+marshalling operations each design performs, multiplied by per-primitive
+costs measured on the 1987 testbed.  A discrete-event simulator that
+charges calibrated costs for those primitives therefore reproduces the
+paper's tradeoffs exactly, while being deterministic and laptop-scale.
+
+The kernel is a small SimPy-flavoured engine:
+
+- :class:`~repro.sim.kernel.Environment` owns the virtual clock and the
+  event queue and runs generator-based processes.
+- :class:`~repro.sim.events.Event`, :class:`~repro.sim.events.Timeout`,
+  :class:`~repro.sim.events.AnyOf` and :class:`~repro.sim.events.AllOf`
+  are the things a process may ``yield``.
+- :class:`~repro.sim.resources.Resource`, ``CPU`` and ``Disk`` model
+  contended devices with service times.
+- :class:`~repro.sim.rng.RngRegistry` hands out independent, named,
+  seeded random streams so that runs are reproducible.
+- :class:`~repro.sim.trace.Tracer` and :mod:`repro.sim.stats` provide the
+  instrumentation the benchmark harness reads.
+
+All simulated time is in **milliseconds** (float), matching the paper's
+reporting units.
+"""
+
+from repro.sim.events import AllOf, AnyOf, Event, Interrupt, Timeout
+from repro.sim.kernel import Environment, SimulationError
+from repro.sim.process import Process
+from repro.sim.resources import CPU, Disk, Resource
+from repro.sim.rng import RngRegistry
+from repro.sim.latency import (
+    ConstantLatency,
+    EmpiricalLatency,
+    ExponentialLatency,
+    LatencyModel,
+    UniformLatency,
+)
+from repro.sim.trace import TraceRecord, Tracer
+from repro.sim.stats import Counter, Histogram, StatsRegistry, Timer
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "CPU",
+    "ConstantLatency",
+    "Counter",
+    "Disk",
+    "EmpiricalLatency",
+    "Environment",
+    "Event",
+    "ExponentialLatency",
+    "Histogram",
+    "Interrupt",
+    "LatencyModel",
+    "Process",
+    "Resource",
+    "RngRegistry",
+    "SimulationError",
+    "StatsRegistry",
+    "Timeout",
+    "TraceRecord",
+    "Timer",
+    "Tracer",
+    "UniformLatency",
+]

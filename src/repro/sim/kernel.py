@@ -1,0 +1,140 @@
+"""The simulation environment: virtual clock plus event queue.
+
+:class:`Environment` is deliberately small.  Everything else in the
+repository — network messages, RPC calls, disk reads, cache probes — is
+expressed as processes and events scheduled here.  Time is in simulated
+milliseconds, matching the units of every number in the paper.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import typing
+
+from repro.sim.events import AllOf, AnyOf, Event, Timeout
+from repro.sim.process import Process, ProcessGenerator
+from repro.sim.rng import RngRegistry
+from repro.sim.stats import StatsRegistry
+from repro.sim.trace import Tracer
+
+
+class SimulationError(RuntimeError):
+    """Raised for kernel-level misuse (e.g. scheduling into the past)."""
+
+
+class Environment:
+    """Owns the virtual clock, the event queue, and run control.
+
+    Parameters
+    ----------
+    seed:
+        Master seed for the per-purpose random streams handed out by
+        :attr:`rng`.  Two environments with the same seed replay the
+        same simulation exactly.
+    """
+
+    def __init__(self, seed: int = 0):
+        self._now: float = 0.0
+        self._queue: typing.List[typing.Tuple[float, int, Event]] = []
+        self._eid = itertools.count()
+        self._active_process: typing.Optional[Process] = None
+        self.rng = RngRegistry(seed)
+        self.trace = Tracer(self)
+        self.stats = StatsRegistry(self)
+
+    # ------------------------------------------------------------------
+    # Clock
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time in milliseconds."""
+        return self._now
+
+    @property
+    def active_process(self) -> typing.Optional[Process]:
+        """The process currently executing, if any."""
+        return self._active_process
+
+    # ------------------------------------------------------------------
+    # Event construction helpers
+    # ------------------------------------------------------------------
+    def event(self) -> Event:
+        """A fresh untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: object = None) -> Timeout:
+        """An event triggering ``delay`` ms from now, carrying ``value``."""
+        return Timeout(self, delay, value)
+
+    def process(
+        self, generator: ProcessGenerator, name: typing.Optional[str] = None
+    ) -> Process:
+        """Start ``generator`` as a process at the current time."""
+        return Process(self, generator, name=name)
+
+    def any_of(self, events: typing.Sequence[Event]) -> AnyOf:
+        """Event triggering when any of ``events`` does."""
+        return AnyOf(self, events)
+
+    def all_of(self, events: typing.Sequence[Event]) -> AllOf:
+        """Event triggering when all of ``events`` have."""
+        return AllOf(self, events)
+
+    # ------------------------------------------------------------------
+    # Scheduling and execution
+    # ------------------------------------------------------------------
+    def _schedule(self, event: Event, delay: float = 0.0) -> None:
+        if delay < 0:
+            raise SimulationError(f"cannot schedule {delay} ms into the past")
+        heapq.heappush(self._queue, (self._now + delay, next(self._eid), event))
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if queue is empty."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process exactly one event (advancing the clock to it)."""
+        if not self._queue:
+            raise SimulationError("step() on an empty event queue")
+        when, _, event = heapq.heappop(self._queue)
+        self._now = when
+        event._process()
+
+    def run(
+        self,
+        until: typing.Union[None, float, Event] = None,
+    ) -> object:
+        """Run the simulation.
+
+        - ``until=None``: run until the event queue drains.
+        - ``until=<float>``: run until the clock reaches that time.
+        - ``until=<Event>``: run until that event has been processed and
+          return its value (raising its exception if it failed).
+        """
+        if until is None:
+            while self._queue:
+                self.step()
+            return None
+        if isinstance(until, Event):
+            target = until
+            # Defuse so the kernel does not double-report a failure we are
+            # about to raise from .value below.
+            target._add_callback(lambda e: e.defuse() if not e.ok else None)
+            while not target.processed:
+                if not self._queue:
+                    raise SimulationError(
+                        "event queue drained before the awaited event "
+                        "triggered (deadlock?)"
+                    )
+                self.step()
+            return target.value
+        horizon = float(until)
+        if horizon < self._now:
+            raise SimulationError(
+                f"run(until={horizon}) is in the past (now={self._now})"
+            )
+        while self._queue and self._queue[0][0] <= horizon:
+            self.step()
+        self._now = horizon
+        return None

@@ -1,0 +1,109 @@
+"""Generator-based simulated processes.
+
+A process is a Python generator that ``yield``\\ s :class:`Event` objects
+to suspend until they trigger.  The value of a successful event is sent
+back into the generator; the exception of a failed event is thrown into
+it.  When the generator returns, the process (itself an event) succeeds
+with the generator's return value, so processes compose: one process may
+``yield`` another.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.sim.events import Event, Interrupt
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.kernel import Environment
+
+ProcessGenerator = typing.Generator[Event, object, object]
+
+
+class Process(Event):
+    """A running simulated activity; also an event others can wait on."""
+
+    def __init__(
+        self,
+        env: "Environment",
+        generator: ProcessGenerator,
+        name: typing.Optional[str] = None,
+    ):
+        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
+            raise TypeError(
+                f"Process requires a generator, got {type(generator).__name__}"
+            )
+        super().__init__(env)
+        self.generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        self._target: typing.Optional[Event] = None
+        # Kick the process off at the current simulated time.
+        start = Event(env)
+        start._add_callback(self._resume)
+        start.succeed(None)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not finished."""
+        return not self.triggered
+
+    def interrupt(self, cause: object = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time.
+
+        Used by failure injection (crash a server mid-call) and by
+        timeout wrappers.  Interrupting a finished process is an error.
+        """
+        if self.triggered:
+            raise RuntimeError(f"cannot interrupt finished process {self.name!r}")
+        # Detach from whatever the process was waiting on so the stale
+        # resume callback never fires.
+        if self._target is not None and self._target.callbacks is not None:
+            try:
+                self._target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        self._target = None
+        punch = Event(self.env)
+        punch._add_callback(self._resume_with_interrupt(cause))
+        punch.succeed(None)
+
+    def _resume_with_interrupt(
+        self, cause: object
+    ) -> typing.Callable[[Event], None]:
+        def callback(_event: Event) -> None:
+            self._step(throw=Interrupt(cause))
+
+        return callback
+
+    def _resume(self, event: Event) -> None:
+        if event._exception is not None:
+            event.defuse()
+            self._step(throw=event._exception)
+        else:
+            self._step(send=event._value)
+
+    def _step(self, send: object = None, throw: object = None) -> None:
+        self.env._active_process = self
+        try:
+            if throw is not None:
+                target = self.generator.throw(throw)
+            else:
+                target = self.generator.send(send)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:
+            self.fail(exc)
+            return
+        finally:
+            self.env._active_process = None
+        if not isinstance(target, Event):
+            error = RuntimeError(
+                f"process {self.name!r} yielded {target!r}; "
+                "processes may only yield Event objects"
+            )
+            # Surface inside the generator so user code sees a clear error.
+            self._step(throw=error)
+            return
+        self._target = target
+        target._add_callback(self._resume)

@@ -1,0 +1,151 @@
+"""Measurement primitives: counters, timers, histograms.
+
+The benchmark harness reads these to build its paper-vs-measured tables.
+All statistics live in a per-environment :class:`StatsRegistry` so that
+independent simulation runs never share state.
+"""
+
+from __future__ import annotations
+
+import math
+import typing
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.kernel import Environment
+
+
+class Counter:
+    """A monotonically increasing named count."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def increment(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only increase")
+        self.value += amount
+
+
+class Timer:
+    """Accumulates durations (ms) and summarises them."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.samples: typing.List[float] = []
+
+    def record(self, duration_ms: float) -> None:
+        if duration_ms < 0:
+            raise ValueError(f"negative duration: {duration_ms}")
+        self.samples.append(duration_ms)
+
+    @property
+    def count(self) -> int:
+        return len(self.samples)
+
+    @property
+    def total(self) -> float:
+        return sum(self.samples)
+
+    @property
+    def mean(self) -> float:
+        if not self.samples:
+            raise ValueError(f"timer {self.name!r} has no samples")
+        return self.total / len(self.samples)
+
+    @property
+    def minimum(self) -> float:
+        if not self.samples:
+            raise ValueError(f"timer {self.name!r} has no samples")
+        return min(self.samples)
+
+    @property
+    def maximum(self) -> float:
+        if not self.samples:
+            raise ValueError(f"timer {self.name!r} has no samples")
+        return max(self.samples)
+
+    def percentile(self, p: float) -> float:
+        """Linear-interpolated percentile, ``p`` in [0, 100]."""
+        if not self.samples:
+            raise ValueError(f"timer {self.name!r} has no samples")
+        if not 0 <= p <= 100:
+            raise ValueError(f"percentile out of range: {p}")
+        ordered = sorted(self.samples)
+        if len(ordered) == 1:
+            return ordered[0]
+        rank = (p / 100) * (len(ordered) - 1)
+        low = math.floor(rank)
+        high = math.ceil(rank)
+        if low == high:
+            return ordered[low]
+        frac = rank - low
+        value = ordered[low] * (1 - frac) + ordered[high] * frac
+        # Clamp: interpolation of denormal floats can round outside the
+        # bracketing samples.
+        return min(max(value, ordered[low]), ordered[high])
+
+    @property
+    def stdev(self) -> float:
+        if len(self.samples) < 2:
+            return 0.0
+        mean = self.mean
+        var = sum((s - mean) ** 2 for s in self.samples) / (len(self.samples) - 1)
+        return math.sqrt(var)
+
+
+class Histogram:
+    """Fixed-bucket histogram for latency distributions."""
+
+    def __init__(self, name: str, bounds: typing.Sequence[float]):
+        if not bounds or list(bounds) != sorted(bounds):
+            raise ValueError("bucket bounds must be non-empty and sorted")
+        self.name = name
+        self.bounds = [float(b) for b in bounds]
+        # One bucket per bound plus overflow.
+        self.counts = [0] * (len(self.bounds) + 1)
+
+    def record(self, value: float) -> None:
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.counts[i] += 1
+                return
+        self.counts[-1] += 1
+
+    @property
+    def total(self) -> int:
+        return sum(self.counts)
+
+    def buckets(self) -> typing.List[typing.Tuple[str, int]]:
+        """(label, count) pairs including the overflow bucket."""
+        labels = [f"<= {b:g}" for b in self.bounds] + [f"> {self.bounds[-1]:g}"]
+        return list(zip(labels, self.counts))
+
+
+class StatsRegistry:
+    """Per-environment home for named counters, timers, histograms."""
+
+    def __init__(self, env: "Environment"):
+        self._env = env
+        self._counters: typing.Dict[str, Counter] = {}
+        self._timers: typing.Dict[str, Timer] = {}
+        self._histograms: typing.Dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        if name not in self._counters:
+            self._counters[name] = Counter(name)
+        return self._counters[name]
+
+    def timer(self, name: str) -> Timer:
+        if name not in self._timers:
+            self._timers[name] = Timer(name)
+        return self._timers[name]
+
+    def histogram(self, name: str, bounds: typing.Sequence[float]) -> Histogram:
+        if name not in self._histograms:
+            self._histograms[name] = Histogram(name, bounds)
+        return self._histograms[name]
+
+    def counters(self) -> typing.Dict[str, int]:
+        """Snapshot of all counter values."""
+        return {name: c.value for name, c in self._counters.items()}

@@ -1,0 +1,60 @@
+"""Structured event tracing.
+
+The Figure 2.1 reproduction and several tests rely on being able to
+replay *what happened* in a run: which component called which, when, and
+with what payload.  The tracer records ``TraceRecord`` tuples; consumers
+filter by category.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.kernel import Environment
+
+
+@dataclasses.dataclass(frozen=True)
+class TraceRecord:
+    """One traced occurrence."""
+
+    time: float
+    category: str
+    message: str
+    data: typing.Mapping[str, object]
+
+    def __str__(self) -> str:
+        return f"[{self.time:10.3f} ms] {self.category:<12} {self.message}"
+
+
+class Tracer:
+    """Collects :class:`TraceRecord` objects when enabled.
+
+    Tracing is off by default so benchmark runs pay no collection cost;
+    tests and the walkthrough example enable it.
+    """
+
+    def __init__(self, env: "Environment"):
+        self._env = env
+        self.enabled = False
+        self.records: typing.List[TraceRecord] = []
+
+    def emit(self, category: str, message: str, **data: object) -> None:
+        """Record one occurrence (no-op unless enabled)."""
+        if not self.enabled:
+            return
+        self.records.append(
+            TraceRecord(self._env.now, category, message, dict(data))
+        )
+
+    def filter(self, category: str) -> typing.List[TraceRecord]:
+        """All records in ``category``, in time order."""
+        return [r for r in self.records if r.category == category]
+
+    def clear(self) -> None:
+        self.records.clear()
+
+    def format(self) -> str:
+        """Human-readable rendering of the whole trace."""
+        return "\n".join(str(r) for r in self.records)

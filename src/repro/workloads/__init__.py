@@ -1,0 +1,14 @@
+"""Workloads: the simulated HCS testbed and query-stream generators."""
+
+from repro.workloads.scenarios import HcsTestbed, build_stack, build_testbed
+from repro.workloads.generator import QueryEvent, QueryWorkload
+from repro.workloads.zipf import ZipfDistribution
+
+__all__ = [
+    "HcsTestbed",
+    "QueryEvent",
+    "QueryWorkload",
+    "ZipfDistribution",
+    "build_stack",
+    "build_testbed",
+]

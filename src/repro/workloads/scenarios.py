@@ -1,0 +1,529 @@
+"""The canned HCS testbed and colocation-stack builder.
+
+``build_testbed`` stands up the whole environment of Section 3:
+
+- MicroVAX-class hosts on one lightly loaded Ethernet;
+- the modified meta-BIND (dynamic update + UNSPEC data);
+- a public BIND serving ``cs.washington.edu`` (hosts, mail TXT, file
+  TXT records);
+- a Clearinghouse serving the ``hcs:uw`` domain for the Xerox side;
+- a Sun host (``fiji``) running the portmapper and a target Sun RPC
+  service, and an XDE host (``dlion``) running the Courier binder and a
+  Courier service;
+- meta-zone registrations for both name services, their contexts, and
+  all their NSMs, written through the dynamic-update path.
+
+``build_stack`` then wires the client side for any of the five
+colocation arrangements of Table 3.1.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.bind import BindServer, ResourceRecord, Zone
+from repro.clearinghouse import (
+    CHName,
+    ClearinghouseServer,
+    Credentials,
+)
+from repro.core.admin import HnsAdministrator
+from repro.core.colocation import Arrangement, ColocationStack
+from repro.core.hns import HNS, serve_hns
+from repro.core.import_call import (
+    HrpcImporter,
+    LocalFinder,
+    RemoteFinder,
+    serve_agent,
+)
+from repro.core.metastore import MetaStore
+from repro.core.nsm import NamingSemanticsManager, NsmStub, serve_nsm
+from repro.core.nsms import (
+    BindBindingNSM,
+    BindHostAddressNSM,
+    BindMailboxNSM,
+    BindFileServiceNSM,
+    ClearinghouseBindingNSM,
+    ClearinghouseHostAddressNSM,
+    ClearinghouseMailboxNSM,
+    ClearinghouseFileServiceNSM,
+)
+from repro.harness.calibration import Calibration, DEFAULT_CALIBRATION
+from repro.hrpc import (
+    CourierBinder,
+    HRPCBinding,
+    HrpcRuntime,
+    HrpcServer,
+    Portmapper,
+)
+from repro.net import DatagramTransport, Internetwork, StreamTransport
+from repro.net.addresses import WELL_KNOWN_PORTS, Endpoint
+from repro.net.host import Host
+from repro.sim import ConstantLatency, Environment
+
+# Fixed well-known deployment constants for the testbed.
+BIND_NS = "BIND-cs"
+CH_NS = "CH-hcs"
+BIND_CONTEXT = "BIND-cs"
+CH_CONTEXT = "CH-hcs"
+SRV_CONTEXT = "BIND-srv"
+NSM_PORT = WELL_KNOWN_PORTS["nsm-base"]
+HNS_PORT = WELL_KNOWN_PORTS["hns"]
+AGENT_PORT = WELL_KNOWN_PORTS["hns"] + 1
+TARGET_SERVICE = "DesiredService"
+TARGET_PORT = 9999
+COURIER_SERVICE = "PrintService"
+COURIER_PORT = 6001
+CREDENTIALS = Credentials("hcs", "hcs-secret")
+
+
+@dataclasses.dataclass
+class HcsTestbed:
+    """Everything standing after :func:`build_testbed`."""
+
+    env: Environment
+    internet: Internetwork
+    calibration: Calibration
+    udp: DatagramTransport
+    tcp: StreamTransport
+    # hosts
+    client: Host
+    meta_host: Host
+    public_host: Host
+    fiji: Host
+    june: Host
+    dlion: Host
+    ch_host: Host
+    nsm_host: Host
+    hns_host: Host
+    agent_host: Host
+    # services
+    meta_server: BindServer
+    meta_endpoint: Endpoint
+    public_server: BindServer
+    public_endpoint: Endpoint
+    ch_server: ClearinghouseServer
+    ch_endpoint: Endpoint
+
+    # ------------------------------------------------------------------
+    # NSM factories: one per (query class, name service), placed anywhere
+    # ------------------------------------------------------------------
+    def make_bind_binding_nsm(self, host: Host, cached: bool = True) -> BindBindingNSM:
+        return BindBindingNSM(
+            host,
+            BIND_NS,
+            self.udp,
+            self.public_endpoint,
+            calibration=self.calibration,
+            cached=cached,
+        )
+
+    def make_bind_hostaddr_nsm(
+        self, host: Host, cached: bool = True
+    ) -> BindHostAddressNSM:
+        return BindHostAddressNSM(
+            host,
+            BIND_NS,
+            self.udp,
+            self.public_endpoint,
+            calibration=self.calibration,
+            cached=cached,
+        )
+
+    def make_ch_binding_nsm(
+        self, host: Host, cached: bool = True
+    ) -> ClearinghouseBindingNSM:
+        return ClearinghouseBindingNSM(
+            host,
+            CH_NS,
+            self.tcp,
+            self.ch_endpoint,
+            CREDENTIALS,
+            calibration=self.calibration,
+            cached=cached,
+        )
+
+    def make_ch_hostaddr_nsm(
+        self, host: Host, cached: bool = True
+    ) -> ClearinghouseHostAddressNSM:
+        return ClearinghouseHostAddressNSM(
+            host,
+            CH_NS,
+            self.tcp,
+            self.ch_endpoint,
+            CREDENTIALS,
+            calibration=self.calibration,
+            cached=cached,
+        )
+
+    def make_bind_mail_nsm(self, host: Host, cached: bool = True) -> BindMailboxNSM:
+        return BindMailboxNSM(
+            host,
+            BIND_NS,
+            self.udp,
+            self.public_endpoint,
+            calibration=self.calibration,
+            cached=cached,
+        )
+
+    def make_ch_mail_nsm(
+        self, host: Host, cached: bool = True
+    ) -> ClearinghouseMailboxNSM:
+        return ClearinghouseMailboxNSM(
+            host,
+            CH_NS,
+            self.tcp,
+            self.ch_endpoint,
+            CREDENTIALS,
+            calibration=self.calibration,
+            cached=cached,
+        )
+
+    def make_bind_file_nsm(self, host: Host, cached: bool = True) -> BindFileServiceNSM:
+        return BindFileServiceNSM(
+            host,
+            BIND_NS,
+            self.udp,
+            self.public_endpoint,
+            calibration=self.calibration,
+            cached=cached,
+        )
+
+    def make_ch_file_nsm(
+        self, host: Host, cached: bool = True
+    ) -> ClearinghouseFileServiceNSM:
+        return ClearinghouseFileServiceNSM(
+            host,
+            CH_NS,
+            self.tcp,
+            self.ch_endpoint,
+            CREDENTIALS,
+            calibration=self.calibration,
+            cached=cached,
+        )
+
+    def make_metastore(self, host: Host) -> MetaStore:
+        return MetaStore(
+            host, self.udp, self.meta_endpoint, calibration=self.calibration
+        )
+
+    def make_hns(self, host: Host) -> HNS:
+        """An HNS library instance with its statically linked NSMs."""
+        hns = HNS(self.make_metastore(host), calibration=self.calibration)
+        hns.link_host_address_nsm(BIND_NS, self.make_bind_hostaddr_nsm(host))
+        hns.link_host_address_nsm(CH_NS, self.make_ch_hostaddr_nsm(host))
+        return hns
+
+
+def _run(env: Environment, gen) -> object:
+    return env.run(until=env.process(gen))
+
+
+def build_testbed(
+    seed: int = 0, calibration: Calibration = DEFAULT_CALIBRATION
+) -> HcsTestbed:
+    """Stand up the full HCS environment and register the meta data."""
+    env = Environment(seed=seed)
+    internet = Internetwork(env)
+    segment = internet.add_segment(
+        latency=ConstantLatency(
+            calibration.wire_base_ms, calibration.wire_per_byte_ms
+        )
+    )
+    udp = DatagramTransport(internet)
+    tcp = StreamTransport(internet)
+
+    client = internet.add_host("client", segment)
+    meta_host = internet.add_host("metans", segment)
+    public_host = internet.add_host("ns0", segment)
+    fiji = internet.add_host("fiji", segment, system_type="sun")
+    june = internet.add_host("june", segment)
+    dlion = internet.add_host("dlion", segment, system_type="xde")
+    ch_host = internet.add_host("chserver", segment, system_type="xde")
+    nsm_host = internet.add_host("nsmhost", segment)
+    hns_host = internet.add_host("hnshost", segment)
+    agent_host = internet.add_host("agenthost", segment)
+
+    # --- the modified meta-BIND ------------------------------------------
+    meta_server = BindServer(
+        meta_host,
+        zones=[Zone("hns")],
+        lookup_cost_ms=calibration.meta_bind_lookup_ms,
+        allow_dynamic_update=True,
+        calibration=calibration,
+        name="meta-bind",
+    )
+    meta_endpoint = meta_server.listen()
+
+    # --- the public BIND ---------------------------------------------------
+    zone = Zone("cs.washington.edu")
+    for host in (
+        fiji, june, public_host, nsm_host, hns_host, agent_host, client, dlion,
+    ):
+        zone.add(
+            ResourceRecord.a_record(
+                f"{host.name}.cs.washington.edu", str(host.address)
+            )
+        )
+    zone.add(
+        ResourceRecord.text_record(
+            "schwartz.cs.washington.edu",
+            "mailhost=june.cs.washington.edu;mailbox=schwartz",
+        )
+    )
+    zone.add(
+        ResourceRecord.text_record(
+            "src.projects.cs.washington.edu",
+            "server=fiji.cs.washington.edu;volume=/projects/src",
+        )
+    )
+    public_server = BindServer(
+        public_host, zones=[zone], calibration=calibration, name="public-bind"
+    )
+    public_endpoint = public_server.listen()
+
+    # --- the Clearinghouse ---------------------------------------------------
+    ch_server = ClearinghouseServer(ch_host, calibration=calibration)
+    ch_server.credentials.enroll(CREDENTIALS.user, CREDENTIALS.secret)
+    ch_server.database.register(
+        CHName.parse("dlion:hcs:uw"),
+        {"address": bytes(dlion.address.octets)},
+    )
+    ch_server.database.register(
+        CHName.parse("levy:hcs:uw"),
+        {"mailboxes": b"dlion:hcs:uw|levy"},
+    )
+    ch_server.database.register(
+        CHName.parse("docs:hcs:uw"),
+        {"fileservice": b"dlion:hcs:uw|/docs"},
+    )
+    ch_endpoint = ch_server.listen()
+
+    # --- native binding protocols and target services -----------------------
+    portmapper = Portmapper(fiji, calibration=calibration)
+    portmapper.listen()
+    portmapper.register_local(TARGET_SERVICE, TARGET_PORT)
+    portmapper.register_local("hcsfile", TARGET_PORT)
+    target_server = HrpcServer(fiji, name="target")
+
+    def ping(ctx, *args):
+        yield from ctx.host.cpu.compute(0.5)
+        return ("pong",) + args
+
+    target_server.program(TARGET_SERVICE).procedure("ping", ping)
+    target_server.program("hcsfile").procedure("ping", ping)
+    target_server.listen(TARGET_PORT)
+
+    binder = CourierBinder(dlion, calibration=calibration)
+    binder.listen()
+    binder.advertise_local(COURIER_SERVICE, COURIER_PORT)
+    binder.advertise_local("hcsfile", COURIER_PORT)
+    courier_server = HrpcServer(dlion, name="courier-target")
+    courier_server.program(COURIER_SERVICE).procedure("ping", ping)
+    courier_server.program("hcsfile").procedure("ping", ping)
+    courier_server.listen(COURIER_PORT)
+
+    testbed = HcsTestbed(
+        env=env,
+        internet=internet,
+        calibration=calibration,
+        udp=udp,
+        tcp=tcp,
+        client=client,
+        meta_host=meta_host,
+        public_host=public_host,
+        fiji=fiji,
+        june=june,
+        dlion=dlion,
+        ch_host=ch_host,
+        nsm_host=nsm_host,
+        hns_host=hns_host,
+        agent_host=agent_host,
+        meta_server=meta_server,
+        meta_endpoint=meta_endpoint,
+        public_server=public_server,
+        public_endpoint=public_endpoint,
+        ch_server=ch_server,
+        ch_endpoint=ch_endpoint,
+    )
+
+    # --- meta-zone registration via the dynamic-update path ------------------
+    admin = HnsAdministrator(testbed.make_metastore(meta_host))
+
+    def register_everything():
+        yield from admin.register_name_service(
+            BIND_NS, "bind", f"{public_host.name}.cs.washington.edu", 53
+        )
+        yield from admin.register_name_service(
+            CH_NS, "clearinghouse", "chserver:hcs:uw", ch_endpoint.port
+        )
+        yield from admin.register_context(BIND_CONTEXT, BIND_NS)
+        yield from admin.register_context(CH_CONTEXT, CH_NS)
+        # The infrastructure hosts (NSM servers etc.) live in their own
+        # context on the same BIND service — "more than one context ...
+        # stored on the same name service" — so a cold FindNSM really
+        # does miss on all six mappings, as in the paper's measurements.
+        yield from admin.register_context(SRV_CONTEXT, BIND_NS)
+        nsm_fqdn = f"{nsm_host.name}.cs.washington.edu"
+        specs = [
+            ("HRPCBinding", BIND_NS, 0),
+            ("HostAddress", BIND_NS, 1),
+            ("MailboxLocation", BIND_NS, 2),
+            ("FileService", BIND_NS, 3),
+            ("HRPCBinding", CH_NS, 4),
+            ("HostAddress", CH_NS, 5),
+            ("MailboxLocation", CH_NS, 6),
+            ("FileService", CH_NS, 7),
+        ]
+        for query_class, ns, offset in specs:
+            nsm_name = f"{query_class}-{ns}"
+            yield from admin.register_nsm(
+                nsm_name=nsm_name,
+                query_class=query_class,
+                name_service=ns,
+                host_name=nsm_fqdn,
+                host_context=SRV_CONTEXT,
+                program=f"nsm.{nsm_name}",
+                suite="sunrpc",
+                port=NSM_PORT + offset,
+                host_address=str(nsm_host.address),
+            )
+
+    _run(env, register_everything())
+    return testbed
+
+
+# ----------------------------------------------------------------------
+# Colocation stacks
+# ----------------------------------------------------------------------
+def build_stack(
+    testbed: HcsTestbed,
+    arrangement: Arrangement,
+    name_service: str = BIND_NS,
+) -> ColocationStack:
+    """Wire the client side for one Table 3.1 arrangement."""
+    env = testbed.env
+    client = testbed.client
+    runtime = HrpcRuntime(client, testbed.internet)
+    cal = testbed.calibration
+
+    def binding_nsm_for(host: Host) -> NamingSemanticsManager:
+        if name_service == BIND_NS:
+            return testbed.make_bind_binding_nsm(host)
+        return testbed.make_ch_binding_nsm(host)
+
+    if arrangement is Arrangement.ALL_LOCAL:
+        hns = testbed.make_hns(client)
+        nsm = binding_nsm_for(client)
+        hns.link_local_nsm(nsm)
+        stub = NsmStub(client, runtime, calibration=cal)
+        stub.link_local(nsm)
+        importer = HrpcImporter(
+            client, finder=LocalFinder(hns), nsm_stub=stub, calibration=cal
+        )
+        return ColocationStack(arrangement, client, importer, hns, nsm)
+
+    if arrangement is Arrangement.AGENT:
+        agent_host = testbed.agent_host
+        hns = testbed.make_hns(agent_host)
+        nsm = binding_nsm_for(agent_host)
+        hns.link_local_nsm(nsm)
+        agent_stub = NsmStub(agent_host, calibration=cal)
+        agent_stub.link_local(nsm)
+        server = HrpcServer(agent_host, name="agent")
+        serve_agent(hns, server, agent_stub)
+        server.listen(AGENT_PORT)
+        agent_binding = HRPCBinding(
+            Endpoint(agent_host.address, AGENT_PORT), "hnsagent", suite="sunrpc"
+        )
+        importer = HrpcImporter(
+            client,
+            agent_binding=agent_binding,
+            runtime=runtime,
+            calibration=cal,
+        )
+        return ColocationStack(
+            arrangement, client, importer, hns, nsm, (agent_host,)
+        )
+
+    if arrangement is Arrangement.REMOTE_HNS:
+        hns = testbed.make_hns(testbed.hns_host)
+        server = HrpcServer(testbed.hns_host, name="hns-service")
+        serve_hns(hns, server)
+        server.listen(HNS_PORT)
+        hns_binding = HRPCBinding(
+            Endpoint(testbed.hns_host.address, HNS_PORT), "hns", suite="sunrpc"
+        )
+        nsm = binding_nsm_for(client)
+        stub = NsmStub(client, runtime, calibration=cal)
+        stub.link_local(nsm)
+        importer = HrpcImporter(
+            client,
+            finder=RemoteFinder(runtime, hns_binding),
+            nsm_stub=stub,
+            calibration=cal,
+        )
+        return ColocationStack(
+            arrangement, client, importer, hns, nsm, (testbed.hns_host,)
+        )
+
+    if arrangement is Arrangement.REMOTE_NSMS:
+        hns = testbed.make_hns(client)
+        nsm = binding_nsm_for(testbed.nsm_host)
+        server = HrpcServer(testbed.nsm_host, name="nsm-service")
+        serve_nsm(server, nsm)
+        server.listen(_nsm_port_for(nsm.name))
+        stub = NsmStub(client, runtime, calibration=cal)
+        importer = HrpcImporter(
+            client, finder=LocalFinder(hns), nsm_stub=stub, calibration=cal
+        )
+        return ColocationStack(
+            arrangement, client, importer, hns, nsm, (testbed.nsm_host,)
+        )
+
+    if arrangement is Arrangement.ALL_REMOTE:
+        hns = testbed.make_hns(testbed.hns_host)
+        hns_server = HrpcServer(testbed.hns_host, name="hns-service")
+        serve_hns(hns, hns_server)
+        hns_server.listen(HNS_PORT)
+        hns_binding = HRPCBinding(
+            Endpoint(testbed.hns_host.address, HNS_PORT), "hns", suite="sunrpc"
+        )
+        nsm = binding_nsm_for(testbed.nsm_host)
+        nsm_server = HrpcServer(testbed.nsm_host, name="nsm-service")
+        serve_nsm(nsm_server, nsm)
+        nsm_server.listen(_nsm_port_for(nsm.name))
+        stub = NsmStub(client, runtime, calibration=cal)
+        importer = HrpcImporter(
+            client,
+            finder=RemoteFinder(runtime, hns_binding),
+            nsm_stub=stub,
+            calibration=cal,
+        )
+        return ColocationStack(
+            arrangement,
+            client,
+            importer,
+            hns,
+            nsm,
+            (testbed.hns_host, testbed.nsm_host),
+        )
+
+    raise ValueError(f"unknown arrangement {arrangement!r}")
+
+
+def _nsm_port_for(nsm_name: str) -> int:
+    """Port the registration assigned to this NSM (see build_testbed)."""
+    offsets = {
+        f"HRPCBinding-{BIND_NS}": 0,
+        f"HostAddress-{BIND_NS}": 1,
+        f"MailboxLocation-{BIND_NS}": 2,
+        f"FileService-{BIND_NS}": 3,
+        f"HRPCBinding-{CH_NS}": 4,
+        f"HostAddress-{CH_NS}": 5,
+        f"MailboxLocation-{CH_NS}": 6,
+        f"FileService-{CH_NS}": 7,
+    }
+    if nsm_name not in offsets:
+        raise KeyError(f"no registered port for NSM {nsm_name!r}")
+    return NSM_PORT + offsets[nsm_name]

@@ -1,0 +1,28 @@
+"""Sun Yellow Pages (NIS) substrate: a third name-service type.
+
+The paper's prototype federated BIND and the Clearinghouse and "plan[s]
+to introduce additional name services as they become available".  This
+package is that next service: Sun's Yellow Pages — flat, per-domain
+key/value *maps* (``hosts.byname``, ``mail.aliases``, ...) served over
+Sun RPC from in-memory dbm files.
+
+Integrating it into the HNS costs exactly what the paper promises:
+NSMs for the query classes worth supporting, plus registration — no
+client changes.  See :mod:`repro.core.nsms.yp` and
+``tests/integration/test_third_system_type.py``.
+"""
+
+from repro.yellowpages.maps import YpDomain, YpMap
+from repro.yellowpages.errors import NoSuchKey, NoSuchMap, YpError
+from repro.yellowpages.server import YpServer
+from repro.yellowpages.client import YpClient
+
+__all__ = [
+    "NoSuchKey",
+    "NoSuchMap",
+    "YpClient",
+    "YpDomain",
+    "YpError",
+    "YpMap",
+    "YpServer",
+]

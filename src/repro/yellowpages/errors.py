@@ -1,0 +1,19 @@
+"""Yellow Pages failure modes."""
+
+
+class YpError(Exception):
+    """Base class for YP failures."""
+
+    status = 1
+
+
+class NoSuchMap(YpError):
+    """The domain has no map of that name."""
+
+    status = 2
+
+
+class NoSuchKey(YpError):
+    """The map exists but lacks the key."""
+
+    status = 3

@@ -1,0 +1,32 @@
+"""Shared fixtures: a small simulated BIND deployment."""
+
+import pytest
+
+from repro.bind import BindServer, ResourceRecord, Zone
+from repro.harness.calibration import DEFAULT_CALIBRATION
+from repro.net import DatagramTransport, Internetwork
+from repro.sim import ConstantLatency, Environment
+
+CAL = DEFAULT_CALIBRATION
+
+
+@pytest.fixture
+def deployment():
+    """env, internetwork, transport, client host, and a public BIND."""
+    env = Environment(seed=11)
+    net = Internetwork(env)
+    segment = net.add_segment(
+        latency=ConstantLatency(CAL.wire_base_ms, CAL.wire_per_byte_ms)
+    )
+    client = net.add_host("client", segment)
+    server_host = net.add_host("ns0", segment)
+    zone = Zone("cs.washington.edu")
+    zone.add(ResourceRecord.a_record("fiji.cs.washington.edu", "128.95.1.4"))
+    zone.add(ResourceRecord.a_record("june.cs.washington.edu", "128.95.1.5"))
+    gateway_zone = Zone("gw.net")
+    for i in range(6):
+        gateway_zone.add(ResourceRecord.a_record("gateway.gw.net", f"10.0.0.{i + 1}"))
+    server = BindServer(server_host, zones=[zone, gateway_zone])
+    endpoint = server.listen()
+    transport = DatagramTransport(net)
+    return env, net, transport, client, server, endpoint

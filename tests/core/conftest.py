@@ -1,0 +1,14 @@
+"""Shared fixture: the full simulated HCS testbed."""
+
+import pytest
+
+from repro.workloads import build_testbed
+
+
+@pytest.fixture
+def testbed():
+    return build_testbed(seed=7)
+
+
+def run(env, gen):
+    return env.run(until=env.process(gen))

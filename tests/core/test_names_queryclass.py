@@ -1,0 +1,64 @@
+"""HNS names and query classes."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import HNSName, QUERY_CLASSES, QueryClassUnsupported, query_class_named
+
+
+def test_name_construction_and_display():
+    n = HNSName("BIND-cs", "fiji.cs.washington.edu")
+    assert str(n) == "BIND-cs::fiji.cs.washington.edu"
+    assert HNSName.parse(str(n)) == n
+
+
+def test_individual_name_any_syntax():
+    """The individual name carries the local service's own syntax."""
+    HNSName("CH-hcs", "printer:hcs:uw")
+    HNSName("BIND-cs", "host.dom.edu")
+    HNSName("files", "/usr/local/bin")
+    HNSName("mail", "user@host!route%weird")
+
+
+def test_name_validation():
+    with pytest.raises(ValueError):
+        HNSName("", "x")
+    with pytest.raises(ValueError):
+        HNSName("has space", "x")
+    with pytest.raises(ValueError):
+        HNSName("ctx", "")
+    with pytest.raises(ValueError):
+        HNSName("ctx", "a::b")  # separator reserved
+    with pytest.raises(ValueError):
+        HNSName.parse("no-separator")
+
+
+def test_names_hashable_for_caching():
+    a = HNSName("c", "n")
+    b = HNSName("c", "n")
+    assert a == b and hash(a) == hash(b)
+    assert a.wire_size() > 0
+
+
+@given(
+    st.from_regex(r"[A-Za-z0-9][A-Za-z0-9_-]{0,20}", fullmatch=True),
+    st.text(min_size=1, max_size=50).filter(lambda s: "::" not in s),
+)
+@settings(max_examples=50, deadline=None)
+def test_name_parse_roundtrip(context, individual):
+    n = HNSName(context, individual)
+    assert HNSName.parse(str(n)) == n
+
+
+def test_query_classes_have_distinct_interfaces():
+    assert {"HRPCBinding", "HostAddress", "MailboxLocation", "FileService"} <= set(
+        QUERY_CLASSES
+    )
+    binding = query_class_named("HRPCBinding")
+    binding.validate_result(
+        {"endpoint": None, "program": "x", "suite": "sunrpc", "system_type": "sun"}
+    )
+    with pytest.raises(QueryClassUnsupported):
+        binding.validate_result({"endpoint": None})
+    with pytest.raises(QueryClassUnsupported):
+        query_class_named("Telepathy")

@@ -1,0 +1,113 @@
+"""Harness: tables, experiment runner, calibration coherence."""
+
+import pytest
+
+from repro.harness import (
+    ComparisonTable,
+    DEFAULT_CALIBRATION,
+    format_table,
+    run_simulation,
+)
+from repro.harness.calibration import Calibration
+from repro.sim import Environment
+
+
+def test_format_table_alignment():
+    text = format_table(["a", "bb"], [["1", "222"], ["33", "4"]], title="T")
+    lines = text.splitlines()
+    assert lines[0] == "T"
+    assert "a" in lines[1] and "bb" in lines[1]
+    assert len(lines) == 5
+
+
+def test_comparison_table_deviation():
+    table = ComparisonTable("Test", unit="ms")
+    row = table.add("x", paper=100, measured=104)
+    assert row.deviation_pct == pytest.approx(4.0)
+    table.add("y", paper=200, measured=190)
+    assert table.max_abs_deviation_pct() == pytest.approx(5.0)
+    rendered = table.render()
+    assert "paper (ms)" in rendered and "+4.0" in rendered
+    table.check(tolerance_pct=6)
+    with pytest.raises(AssertionError):
+        table.check(tolerance_pct=4.5)
+
+
+def test_comparison_table_zero_paper_value():
+    table = ComparisonTable("Z")
+    row = table.add("zero", paper=0, measured=5)
+    assert row.deviation_pct == 0.0
+    assert ComparisonTable("empty").max_abs_deviation_pct() == 0.0
+
+
+def test_run_simulation():
+    def builder(env):
+        yield env.timeout(25)
+        env.stats.counter("ticks").increment()
+        return "done"
+
+    result = run_simulation(builder, seed=1)
+    assert result.value == "done"
+    assert result.elapsed_ms == 25.0
+    assert result.counters == {"ticks": 1}
+
+
+def test_run_simulation_with_existing_env():
+    env = Environment(seed=2)
+    env.run(until=10)
+
+    def builder(env):
+        yield env.timeout(5)
+        return env.now
+
+    result = run_simulation(builder, env=env)
+    assert result.value == 15.0
+    assert result.elapsed_ms == 5.0
+
+
+def test_calibration_is_frozen_and_overridable():
+    import dataclasses
+
+    with pytest.raises(dataclasses.FrozenInstanceError):
+        DEFAULT_CALIBRATION.wire_base_ms = 5  # type: ignore[misc]
+    variant = dataclasses.replace(DEFAULT_CALIBRATION, meta_bind_lookup_ms=99)
+    assert variant.meta_bind_lookup_ms == 99
+    assert DEFAULT_CALIBRATION.meta_bind_lookup_ms != 99
+
+
+def test_calibration_derived_cache_hit_matches_table_3_2():
+    assert DEFAULT_CALIBRATION.derived_cache_hit_ms(1) == pytest.approx(0.83)
+    assert DEFAULT_CALIBRATION.derived_cache_hit_ms(6) == pytest.approx(1.22)
+
+
+def test_clearinghouse_cost_decomposition_sums_to_about_156():
+    cal = DEFAULT_CALIBRATION
+    server_side = (
+        cal.ch_auth_cpu_ms + cal.ch_auth_disk_ms + cal.ch_data_disk_ms + cal.ch_process_ms
+    )
+    assert 145 < server_side < 156  # the rest is wire + marshalling
+
+
+def test_custom_calibration_flows_through():
+    """An ablated calibration (free meta lookups) changes measured costs."""
+    import dataclasses
+
+    from repro.core import Arrangement, HNSName
+    from repro.workloads import build_stack, build_testbed
+
+    fast = dataclasses.replace(
+        DEFAULT_CALIBRATION, hrpc_meta_call_ms=0.0, meta_bind_lookup_ms=0.1
+    )
+    tb = build_testbed(seed=6, calibration=fast)
+    stack = build_stack(tb, Arrangement.ALL_LOCAL)
+    stack.flush_all_caches()
+    env = tb.env
+    start = env.now
+    env.run(
+        until=env.process(
+            stack.importer.import_binding(
+                "DesiredService", HNSName("BIND-cs", "fiji.cs.washington.edu")
+            )
+        )
+    )
+    assert env.now - start < 460  # cheaper than the calibrated cold path

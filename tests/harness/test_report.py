@@ -1,0 +1,60 @@
+"""The consolidated reproduction report."""
+
+import pytest
+
+from repro.harness.report import (
+    equation_1,
+    generate_report,
+    headline_figures,
+    main,
+    table_3_1,
+    table_3_2,
+)
+
+
+def test_table_3_1_within_tolerance():
+    table = table_3_1()
+    assert len(table.rows) == 15
+    table.check(tolerance_pct=8.0)
+
+
+def test_table_3_2_hit_rows_exact():
+    table = table_3_2()
+    for row in table.rows:
+        if "hit" in row.label:
+            assert abs(row.deviation_pct) < 0.5, row.label
+        else:
+            assert abs(row.deviation_pct) < 11.0, row.label
+
+
+def test_headline_figures_tight():
+    table = headline_figures()
+    table.check(tolerance_pct=2.0)
+
+
+def test_equation_1_text():
+    text = equation_1()
+    assert "11.5%" in text and "42.3%" in text
+
+
+def test_generate_report_contains_all_sections():
+    report = generate_report()
+    for fragment in (
+        "Table 3.1",
+        "Table 3.2",
+        "Headline component costs",
+        "equation (1)",
+    ):
+        assert fragment in report
+
+
+def test_main_writes_file(tmp_path, capsys):
+    target = tmp_path / "results.md"
+    assert main([str(target)]) == 0
+    assert "wrote" in capsys.readouterr().out
+    assert "Table 3.1" in target.read_text()
+
+
+def test_main_prints_to_stdout(capsys):
+    assert main([]) == 0
+    assert "Table 3.1" in capsys.readouterr().out

@@ -1,0 +1,70 @@
+"""Edge coverage: messages, ethernet, misc net behaviours."""
+
+import pytest
+
+from repro.net import Datagram, Endpoint, Ethernet, Internetwork, NetworkAddress
+from repro.sim import ConstantLatency, Environment
+
+
+def test_datagram_validation_and_str():
+    a = Endpoint(NetworkAddress("1.2.3.4"), 10)
+    b = Endpoint(NetworkAddress("1.2.3.5"), 20)
+    d = Datagram(a, b, "payload", 100)
+    assert "1.2.3.4:10" in str(d) and "100 bytes" in str(d)
+    with pytest.raises(ValueError):
+        Datagram(a, b, "x", -1)
+    d2 = Datagram(a, b, "x", 1)
+    assert d2.msg_id > d.msg_id  # monotone ids
+
+
+def test_ethernet_attach_detach():
+    env = Environment()
+    ether = Ethernet(env)
+    net = Internetwork(env)
+    seg = net.add_segment()
+    host = net.add_host("h", seg)
+    assert seg.carries(host.address)
+    assert seg.host_for(host.address) is host
+    seg.detach(host)
+    assert not seg.carries(host.address)
+    assert seg.host_for(host.address) is None
+    seg.attach(host)
+    with pytest.raises(ValueError):
+        seg.attach(host)  # duplicate address
+
+
+def test_ethernet_drop_probability_validation():
+    env = Environment()
+    with pytest.raises(ValueError):
+        Ethernet(env, drop_probability=1.0)
+    with pytest.raises(ValueError):
+        Ethernet(env, drop_probability=-0.1)
+    quiet = Ethernet(env, drop_probability=0.0)
+    assert not quiet.would_drop()
+
+
+def test_ethernet_transmit_delay_scales_with_size():
+    env = Environment(seed=8)
+    ether = Ethernet(env, latency=ConstantLatency(1.0, per_byte_ms=0.001))
+    small = Datagram.__new__(Datagram)
+    small.size_bytes = 10
+    big = Datagram.__new__(Datagram)
+    big.size_bytes = 10_000
+    assert ether.transmit_delay(big) > ether.transmit_delay(small)
+
+
+def test_lossy_ethernet_drops_sometimes():
+    env = Environment(seed=9)
+    ether = Ethernet(env, drop_probability=0.5)
+    outcomes = {ether.would_drop() for _ in range(100)}
+    assert outcomes == {True, False}
+
+
+def test_trace_format_renders_all_records():
+    env = Environment()
+    env.trace.enabled = True
+    env.trace.emit("a", "first")
+    env.trace.emit("b", "second", key="v")
+    text = env.trace.format()
+    assert "first" in text and "second" in text
+    assert text.count("\n") == 1

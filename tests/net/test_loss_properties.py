@@ -1,0 +1,97 @@
+"""Property tests: the datagram transport under random loss.
+
+Invariant: ``request()`` always terminates — either with the reply or
+with :class:`TransportTimeout` after a bounded number of attempts —
+regardless of the loss rate.  Silence-forever is not an outcome.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.net import (
+    DatagramTransport,
+    Internetwork,
+    Service,
+    TransportTimeout,
+)
+from repro.sim import ConstantLatency, Environment
+
+
+class Echo(Service):
+    """Replies immediately."""
+
+    def handle(self, datagram, responder):
+        responder(("ok", datagram.payload), 16)
+        return
+        yield
+
+
+@given(
+    st.floats(min_value=0.0, max_value=0.9),
+    st.integers(min_value=0, max_value=6),
+    st.integers(min_value=0, max_value=2**31),
+)
+@settings(max_examples=40, deadline=None)
+def test_request_always_terminates_under_loss(drop, retries, seed):
+    env = Environment(seed=seed)
+    net = Internetwork(env)
+    seg = net.add_segment(latency=ConstantLatency(1.0), drop_probability=drop)
+    client = net.add_host("c", seg)
+    server = net.add_host("s", seg)
+    ep = server.bind(9000, Echo())
+    udp = DatagramTransport(net, retries=retries, retry_timeout_ms=20)
+
+    def caller():
+        try:
+            reply = yield from udp.request(client, ep, "x")
+        except TransportTimeout:
+            return "timeout"
+        return reply
+
+    outcome = env.run(until=env.process(caller()))
+    assert outcome == ("ok", "x") or outcome == "timeout"
+    # Bounded attempts: elapsed time cannot exceed the retry budget
+    # plus one full exchange.
+    assert env.now <= (retries + 1) * 20 + 10
+    env.run()  # drain stragglers cleanly
+
+
+@given(st.integers(min_value=0, max_value=2**31))
+@settings(max_examples=25, deadline=None)
+def test_zero_loss_always_succeeds(seed):
+    env = Environment(seed=seed)
+    net = Internetwork(env)
+    seg = net.add_segment(latency=ConstantLatency(1.0), drop_probability=0.0)
+    client = net.add_host("c", seg)
+    server = net.add_host("s", seg)
+    ep = server.bind(9000, Echo())
+    udp = DatagramTransport(net, retries=0, retry_timeout_ms=50)
+
+    def caller():
+        reply = yield from udp.request(client, ep, seed)
+        return reply
+
+    assert env.run(until=env.process(caller())) == ("ok", seed)
+
+
+@given(st.floats(min_value=0.05, max_value=0.5), st.integers(min_value=0, max_value=2**31))
+@settings(max_examples=20, deadline=None)
+def test_retries_only_happen_under_loss_or_failure(drop, seed):
+    env = Environment(seed=seed)
+    net = Internetwork(env)
+    seg = net.add_segment(latency=ConstantLatency(1.0), drop_probability=drop)
+    client = net.add_host("c", seg)
+    server = net.add_host("s", seg)
+    ep = server.bind(9000, Echo())
+    udp = DatagramTransport(net, retries=10, retry_timeout_ms=20)
+
+    def caller():
+        for _ in range(5):
+            yield from udp.request(client, ep, "x")
+
+    env.run(until=env.process(caller()))
+    retransmits = env.stats.counters().get("net.udp.retransmits", 0)
+    delivered = env.stats.counters().get("net.udp.delivered", 0)
+    assert delivered >= 5
+    assert retransmits >= 0  # and bounded by the retry budget
+    assert retransmits <= 5 * 10

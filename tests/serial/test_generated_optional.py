@@ -1,0 +1,103 @@
+"""Generated-plan coverage for optional and deeply nested types."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.serial import (
+    ArrayType,
+    BoolType,
+    CourierRepresentation,
+    HandcodedMarshaller,
+    OptionalType,
+    StringType,
+    StructType,
+    StubCompiler,
+    U32Type,
+)
+
+DEEP = StructType(
+    "Deep",
+    [
+        ("maybe_label", OptionalType(StringType(32))),
+        ("maybe_inner", OptionalType(
+            StructType(
+                "Inner",
+                [("flag", BoolType()), ("xs", ArrayType(U32Type(), 8))],
+            )
+        )),
+        ("matrix", ArrayType(ArrayType(U32Type(), 4), 4)),
+    ],
+)
+
+
+def sample(label, inner, matrix):
+    return {"maybe_label": label, "maybe_inner": inner, "matrix": matrix}
+
+
+CASES = [
+    sample(None, None, []),
+    sample("x", None, [[1, 2], []]),
+    sample(None, {"flag": True, "xs": [7]}, [[0]]),
+    sample("full", {"flag": False, "xs": [1, 2, 3]}, [[1], [2], [3]]),
+]
+
+
+@pytest.mark.parametrize("value", CASES)
+def test_generated_optional_roundtrip(value):
+    m = StubCompiler().marshaller(DEEP)
+    data, encode_cost = m.encode(value)
+    decoded, decode_cost = m.decode(data)
+    assert decoded == value
+    assert encode_cost > 0 and decode_cost > 0
+
+
+@pytest.mark.parametrize("value", CASES)
+def test_generated_matches_handcoded_bytes(value):
+    gen = StubCompiler().marshaller(DEEP)
+    hand = HandcodedMarshaller(DEEP)
+    assert gen.encode(value)[0] == hand.encode(value)[0]
+
+
+def test_present_optional_costs_more_than_absent():
+    m = StubCompiler().marshaller(DEEP)
+    _, absent = m.encode(CASES[0])
+    _, present = m.encode(CASES[3])
+    assert present > absent
+
+
+def test_generated_optional_over_courier():
+    m = StubCompiler(CourierRepresentation()).marshaller(DEEP)
+    for value in CASES:
+        data, _ = m.encode(value)
+        assert m.decode(data)[0] == value
+
+
+opt_values = st.fixed_dictionaries(
+    {
+        "maybe_label": st.none()
+        | st.text(
+            alphabet=st.characters(min_codepoint=32, max_codepoint=126), max_size=32
+        ),
+        "maybe_inner": st.none()
+        | st.fixed_dictionaries(
+            {
+                "flag": st.booleans(),
+                "xs": st.lists(
+                    st.integers(min_value=0, max_value=2**32 - 1), max_size=8
+                ),
+            }
+        ),
+        "matrix": st.lists(
+            st.lists(st.integers(min_value=0, max_value=2**32 - 1), max_size=4),
+            max_size=4,
+        ),
+    }
+)
+
+
+@given(opt_values)
+@settings(max_examples=50, deadline=None)
+def test_generated_optional_roundtrip_property(value):
+    m = StubCompiler().marshaller(DEEP)
+    data, _ = m.encode(value)
+    assert m.decode(data)[0] == value

@@ -1,0 +1,169 @@
+"""Event lifecycle, conditions, and failure semantics."""
+
+import pytest
+
+from repro.sim import Environment
+
+
+def test_event_value_before_trigger_raises():
+    env = Environment()
+    e = env.event()
+    assert not e.triggered
+    with pytest.raises(RuntimeError):
+        e.value
+    with pytest.raises(RuntimeError):
+        e.ok
+
+
+def test_event_succeed_carries_value():
+    env = Environment()
+    e = env.event()
+    e.succeed(42)
+    env.run()
+    assert e.triggered and e.processed and e.ok
+    assert e.value == 42
+
+
+def test_event_double_trigger_rejected():
+    env = Environment()
+    e = env.event()
+    e.succeed(1)
+    with pytest.raises(RuntimeError):
+        e.succeed(2)
+    with pytest.raises(RuntimeError):
+        e.fail(ValueError())
+
+
+def test_fail_requires_exception_instance():
+    env = Environment()
+    with pytest.raises(TypeError):
+        env.event().fail("not an exception")
+
+
+def test_failed_event_raises_in_waiter():
+    env = Environment()
+    e = env.event()
+
+    def waiter():
+        with pytest.raises(ValueError, match="remote down"):
+            yield e
+        return "handled"
+
+    p = env.process(waiter())
+    e.fail(ValueError("remote down"))
+    assert env.run(until=p) == "handled"
+
+
+def test_unwaited_failed_event_surfaces_at_run():
+    env = Environment()
+    env.event().fail(RuntimeError("nobody listening"))
+    with pytest.raises(RuntimeError, match="nobody listening"):
+        env.run()
+
+
+def test_defused_failure_is_silent():
+    env = Environment()
+    e = env.event()
+    e.fail(RuntimeError("ignored"))
+    e.defuse()
+    env.run()  # no raise
+
+
+def test_waiting_on_processed_event_resumes_immediately():
+    env = Environment()
+    e = env.event()
+    e.succeed("early")
+    env.run()
+
+    def late_waiter():
+        value = yield e
+        return value
+
+    p = env.process(late_waiter())
+    assert env.run(until=p) == "early"
+
+
+def test_timeout_carries_value():
+    env = Environment()
+
+    def proc():
+        value = yield env.timeout(2, value="payload")
+        return value
+
+    p = env.process(proc())
+    assert env.run(until=p) == "payload"
+
+
+def test_any_of_triggers_on_first():
+    env = Environment()
+
+    def proc():
+        fast = env.timeout(1, value="fast")
+        slow = env.timeout(10, value="slow")
+        result = yield env.any_of([fast, slow])
+        return result
+
+    p = env.process(proc())
+    result = env.run(until=p)
+    assert list(result.values()) == ["fast"]
+    assert env.now == 1.0
+
+
+def test_all_of_waits_for_all():
+    env = Environment()
+
+    def proc():
+        a = env.timeout(1, value="a")
+        b = env.timeout(5, value="b")
+        result = yield env.all_of([a, b])
+        return sorted(result.values())
+
+    p = env.process(proc())
+    assert env.run(until=p) == ["a", "b"]
+    assert env.now == 5.0
+
+
+def test_any_of_failure_propagates():
+    env = Environment()
+
+    def failer():
+        yield env.timeout(1)
+        raise OSError("link dead")
+
+    def proc():
+        bad = env.process(failer())
+        slow = env.timeout(50)
+        with pytest.raises(OSError):
+            yield env.any_of([bad, slow])
+        return "ok"
+
+    p = env.process(proc())
+    assert env.run(until=p) == "ok"
+
+
+def test_all_of_empty_sequence_triggers_immediately():
+    env = Environment()
+
+    def proc():
+        result = yield env.all_of([])
+        return result
+
+    p = env.process(proc())
+    assert env.run(until=p) == {}
+    assert env.now == 0.0
+
+
+def test_any_of_with_already_processed_child():
+    env = Environment()
+    e = env.event()
+    e.succeed("done")
+    env.run()
+
+    def proc():
+        result = yield env.any_of([e, env.timeout(100)])
+        return result
+
+    p = env.process(proc())
+    result = env.run(until=p)
+    assert "done" in result.values()
+    assert env.now == 0.0

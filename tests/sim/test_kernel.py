@@ -1,0 +1,162 @@
+"""Kernel clock/queue behaviour."""
+
+import pytest
+
+from repro.sim import Environment, SimulationError
+
+
+def test_clock_starts_at_zero():
+    env = Environment()
+    assert env.now == 0.0
+
+
+def test_timeout_advances_clock():
+    env = Environment()
+
+    def proc():
+        yield env.timeout(5)
+        return env.now
+
+    p = env.process(proc())
+    assert env.run(until=p) == 5.0
+    assert env.now == 5.0
+
+
+def test_run_until_time_stops_at_horizon():
+    env = Environment()
+    seen = []
+
+    def proc():
+        for _ in range(10):
+            yield env.timeout(3)
+            seen.append(env.now)
+
+    env.process(proc())
+    env.run(until=10)
+    assert env.now == 10.0
+    assert seen == [3.0, 6.0, 9.0]
+
+
+def test_run_until_past_raises():
+    env = Environment()
+    env.run(until=10)
+    with pytest.raises(SimulationError):
+        env.run(until=5)
+
+
+def test_run_drains_queue_when_no_until():
+    env = Environment()
+
+    def proc():
+        yield env.timeout(7)
+
+    env.process(proc())
+    env.run()
+    assert env.now == 7.0
+    assert env.peek() == float("inf")
+
+
+def test_events_fire_in_time_order():
+    env = Environment()
+    order = []
+
+    def waiter(delay, tag):
+        yield env.timeout(delay)
+        order.append(tag)
+
+    env.process(waiter(5, "b"))
+    env.process(waiter(1, "a"))
+    env.process(waiter(9, "c"))
+    env.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_simultaneous_events_fire_fifo():
+    env = Environment()
+    order = []
+
+    def waiter(tag):
+        yield env.timeout(4)
+        order.append(tag)
+
+    for tag in range(6):
+        env.process(waiter(tag))
+    env.run()
+    assert order == list(range(6))
+
+
+def test_step_on_empty_queue_raises():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        env.step()
+
+
+def test_run_until_event_deadlock_detected():
+    env = Environment()
+    never = env.event()
+
+    def proc():
+        yield never
+
+    env.process(proc())
+    with pytest.raises(SimulationError):
+        env.run(until=never)
+
+
+def test_negative_delay_rejected():
+    env = Environment()
+    with pytest.raises(ValueError):
+        env.timeout(-1)
+
+
+def test_nested_process_composition():
+    env = Environment()
+
+    def inner():
+        yield env.timeout(3)
+        return "inner-done"
+
+    def outer():
+        result = yield env.process(inner())
+        yield env.timeout(2)
+        return result + "/outer-done"
+
+    p = env.process(outer())
+    assert env.run(until=p) == "inner-done/outer-done"
+    assert env.now == 5.0
+
+
+def test_failed_process_raises_at_run():
+    env = Environment()
+
+    def bad():
+        yield env.timeout(1)
+        raise ValueError("boom")
+
+    env.process(bad())
+    with pytest.raises(ValueError, match="boom"):
+        env.run()
+
+
+def test_run_until_failed_event_raises_and_does_not_double_report():
+    env = Environment()
+
+    def bad():
+        yield env.timeout(1)
+        raise KeyError("gone")
+
+    p = env.process(bad())
+    with pytest.raises(KeyError):
+        env.run(until=p)
+
+
+def test_two_environments_are_independent():
+    env1, env2 = Environment(), Environment()
+
+    def proc(env):
+        yield env.timeout(4)
+
+    env1.process(proc(env1))
+    env1.run()
+    assert env1.now == 4.0
+    assert env2.now == 0.0

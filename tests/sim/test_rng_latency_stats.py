@@ -1,0 +1,190 @@
+"""RNG determinism, latency models, stats primitives."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim import (
+    ConstantLatency,
+    EmpiricalLatency,
+    Environment,
+    ExponentialLatency,
+    UniformLatency,
+)
+from repro.sim.rng import RngRegistry
+from repro.sim.stats import Counter, Histogram, Timer
+
+
+# ----------------------------------------------------------------------
+# RNG
+# ----------------------------------------------------------------------
+def test_same_seed_same_streams():
+    a, b = RngRegistry(7), RngRegistry(7)
+    assert [a.stream("net").random() for _ in range(5)] == [
+        b.stream("net").random() for _ in range(5)
+    ]
+
+
+def test_different_names_are_independent():
+    reg = RngRegistry(7)
+    net = [reg.stream("net").random() for _ in range(5)]
+    disk = [reg.stream("disk").random() for _ in range(5)]
+    assert net != disk
+
+
+def test_new_stream_does_not_perturb_existing():
+    a, b = RngRegistry(7), RngRegistry(7)
+    a.stream("net").random()  # draw once
+    b.stream("other")  # create an unrelated stream first
+    b.stream("net").random()
+    assert a.stream("net").random() == b.stream("net").random()
+
+
+def test_fork_is_deterministic_and_distinct():
+    reg = RngRegistry(3)
+    f1, f2 = reg.fork("child"), reg.fork("child")
+    assert f1.seed == f2.seed
+    assert f1.seed != reg.seed
+    assert reg.fork("other").seed != f1.seed
+
+
+# ----------------------------------------------------------------------
+# Latency models
+# ----------------------------------------------------------------------
+def test_constant_latency():
+    model = ConstantLatency(10, per_byte_ms=0.01)
+    rng = RngRegistry(0).stream("x")
+    assert model.sample(rng, 100) == pytest.approx(11.0)
+    assert model.mean(100) == pytest.approx(11.0)
+
+
+def test_constant_latency_validation():
+    with pytest.raises(ValueError):
+        ConstantLatency(-1)
+
+
+def test_uniform_latency_bounds_and_mean():
+    model = UniformLatency(5, 15)
+    rng = RngRegistry(1).stream("x")
+    samples = [model.sample(rng) for _ in range(200)]
+    assert all(5 <= s <= 15 for s in samples)
+    assert model.mean() == pytest.approx(10.0)
+
+
+def test_uniform_latency_validation():
+    with pytest.raises(ValueError):
+        UniformLatency(10, 5)
+
+
+def test_exponential_latency_floor():
+    model = ExponentialLatency(floor_ms=20, mean_extra_ms=5)
+    rng = RngRegistry(2).stream("x")
+    samples = [model.sample(rng) for _ in range(500)]
+    assert all(s >= 20 for s in samples)
+    assert model.mean() == pytest.approx(25.0)
+    mean = sum(samples) / len(samples)
+    assert 23 < mean < 27
+
+
+def test_empirical_latency_matches_support():
+    model = EmpiricalLatency([(10, 1), (20, 3)])
+    rng = RngRegistry(3).stream("x")
+    samples = [model.sample(rng) for _ in range(1000)]
+    assert set(samples) <= {10.0, 20.0}
+    assert model.mean() == pytest.approx(17.5)
+    # weight 3:1 toward 20
+    assert samples.count(20.0) > samples.count(10.0)
+
+
+def test_empirical_latency_validation():
+    with pytest.raises(ValueError):
+        EmpiricalLatency([])
+    with pytest.raises(ValueError):
+        EmpiricalLatency([(10, 0)])
+
+
+# ----------------------------------------------------------------------
+# Stats
+# ----------------------------------------------------------------------
+def test_counter_monotonic():
+    c = Counter("calls")
+    c.increment()
+    c.increment(4)
+    assert c.value == 5
+    with pytest.raises(ValueError):
+        c.increment(-1)
+
+
+def test_timer_summary():
+    t = Timer("latency")
+    for v in (10, 20, 30, 40):
+        t.record(v)
+    assert t.count == 4
+    assert t.mean == pytest.approx(25)
+    assert t.minimum == 10
+    assert t.maximum == 40
+    assert t.percentile(50) == pytest.approx(25)
+    assert t.percentile(0) == 10
+    assert t.percentile(100) == 40
+    assert t.stdev > 0
+
+
+def test_timer_empty_raises():
+    t = Timer("empty")
+    with pytest.raises(ValueError):
+        t.mean
+    with pytest.raises(ValueError):
+        t.percentile(50)
+    with pytest.raises(ValueError):
+        t.record(-1)
+
+
+@given(st.lists(st.floats(min_value=0, max_value=1e6), min_size=1, max_size=50))
+def test_timer_percentile_within_range(samples):
+    t = Timer("prop")
+    for s in samples:
+        t.record(s)
+    for p in (0, 25, 50, 75, 100):
+        value = t.percentile(p)
+        assert min(samples) <= value <= max(samples)
+
+
+def test_histogram_buckets():
+    h = Histogram("lat", [10, 20, 30])
+    for v in (5, 10, 15, 25, 100):
+        h.record(v)
+    assert h.total == 5
+    labels_counts = dict(h.buckets())
+    assert labels_counts["<= 10"] == 2
+    assert labels_counts["<= 20"] == 1
+    assert labels_counts["<= 30"] == 1
+    assert labels_counts["> 30"] == 1
+
+
+def test_histogram_validation():
+    with pytest.raises(ValueError):
+        Histogram("bad", [])
+    with pytest.raises(ValueError):
+        Histogram("bad", [10, 5])
+
+
+def test_stats_registry_scoped_to_environment():
+    env1, env2 = Environment(), Environment()
+    env1.stats.counter("x").increment()
+    assert env2.stats.counter("x").value == 0
+    assert env1.stats.counters() == {"x": 1}
+
+
+def test_tracer_disabled_by_default():
+    env = Environment()
+    env.trace.emit("cat", "hidden")
+    assert env.trace.records == []
+    env.trace.enabled = True
+    env.trace.emit("cat", "shown", key=1)
+    assert len(env.trace.records) == 1
+    rec = env.trace.records[0]
+    assert rec.category == "cat" and rec.data == {"key": 1}
+    assert "cat" in str(rec)
+    assert env.trace.filter("cat") == [rec]
+    assert env.trace.filter("other") == []
+    env.trace.clear()
+    assert env.trace.records == []
