@@ -50,8 +50,8 @@ def main() -> None:
         hns.link_local_nsm(nsm)
         stub.link_local(nsm)
     runtime = HrpcRuntime(testbed.client, testbed.internet)
-    importer = HrpcImporter(
-        testbed.client, finder=LocalFinder(hns), nsm_stub=stub,
+    importer = HrpcImporter.direct(
+        testbed.client, LocalFinder(hns), stub,
         calibration=testbed.calibration,
     )
     executor = RemoteExecutor(testbed.client, importer, runtime)

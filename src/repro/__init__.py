@@ -11,6 +11,10 @@ Subpackages
   marshallers (Table 3.2's subject).
 - :mod:`repro.sim`, :mod:`repro.net` — the deterministic simulation
   substrate.
+- :mod:`repro.resolution` — the :class:`~repro.resolution.
+  ResolutionPolicy` fault-tolerance layer (retry/backoff, negative
+  caching, serve-stale, circuit breakers) shared by the whole
+  resolution path.
 - :mod:`repro.baselines` — the reregistration-based comparison schemes.
 - :mod:`repro.workloads` — the canned HCS testbed and workload
   generators.
@@ -33,6 +37,7 @@ __all__ = [
     "hrpc",
     "localfiles",
     "net",
+    "resolution",
     "serial",
     "sim",
     "workloads",

@@ -55,14 +55,21 @@ class ResolverCache:
         fmt: CacheFormat = CacheFormat.DEMARSHALLED,
         capacity: typing.Optional[int] = None,
         calibration: Calibration = DEFAULT_CALIBRATION,
+        stale_retention_ms: float = 0.0,
     ):
         if capacity is not None and capacity < 1:
             raise ValueError("capacity must be >= 1 or None")
+        if stale_retention_ms < 0:
+            raise ValueError("stale retention must be >= 0")
         self.env = env
         self.name = name
         self.format = fmt
         self.capacity = capacity
         self.calibration = calibration
+        #: how long expired entries are kept around for serve-stale
+        #: (0 = drop on the probe that finds them expired, the
+        #: prototype's behaviour)
+        self.stale_retention_ms = stale_retention_ms
         self._entries: "collections.OrderedDict[object, CacheEntry]" = (
             collections.OrderedDict()
         )
@@ -86,13 +93,65 @@ class ResolverCache:
             self.misses += 1
             return None, cost
         if entry.expires_at <= self.env.now:
-            del self._entries[key]
-            self.expirations += 1
+            # Within the stale-retention window the entry stays resident
+            # (a fallback for serve-stale); it still reads as a miss.
+            if self.env.now - entry.expires_at >= self.stale_retention_ms:
+                del self._entries[key]
+                self.expirations += 1
             self.misses += 1
             return None, cost
         self._entries.move_to_end(key)  # LRU maintenance
         self.hits += 1
         return entry, cost
+
+    def stale_entry(
+        self, key: object, window_ms: float
+    ) -> typing.Optional[CacheEntry]:
+        """An entry usable under serve-stale, or None.
+
+        Returns the entry if it is still fresh *or* expired no more than
+        ``window_ms`` ago.  Pure bookkeeping: no cost is charged and no
+        hit/miss counters move — the caller accounts for stale hits.
+        """
+        if window_ms < 0:
+            raise ValueError("stale window must be >= 0")
+        entry = self._entries.get(key)
+        if entry is None:
+            return None
+        if self.env.now - entry.expires_at > window_ms:
+            return None
+        return entry
+
+    # ------------------------------------------------------------------
+    # Iteration (the public face of ``_entries``)
+    # ------------------------------------------------------------------
+    def entries(
+        self, include_stale: bool = False
+    ) -> typing.Iterator[typing.Tuple[object, CacheEntry]]:
+        """Iterate ``(key, entry)`` pairs without disturbing LRU order.
+
+        By default only live (unexpired) entries are yielded; pass
+        ``include_stale=True`` to include expired entries still resident
+        under the stale-retention window.
+        """
+        now = self.env.now
+        for key, entry in list(self._entries.items()):
+            if include_stale or entry.expires_at > now:
+                yield key, entry
+
+    def warm_entries(
+        self, suffix: str
+    ) -> typing.Iterator[typing.Tuple[str, CacheEntry]]:
+        """Live entries whose owner name ends with ``suffix``.
+
+        Keys are matched on their name component: either the key itself
+        (a string) or the first element of a tuple key such as the
+        resolver's ``(owner, rtype)``.  Yields ``(owner, entry)``.
+        """
+        for key, entry in self.entries():
+            owner = key[0] if isinstance(key, tuple) and key else key
+            if isinstance(owner, str) and owner.endswith(suffix):
+                yield owner, entry
 
     def hit_cost(self, entry: CacheEntry, demarshal_cost_ms: float = 0.0) -> float:
         """Cost of materialising a hit for the caller.

@@ -38,8 +38,10 @@ from repro.bind.names import DomainName
 from repro.bind.rr import ResourceRecord, RRType
 from repro.harness.calibration import Calibration, DEFAULT_CALIBRATION
 from repro.net.addresses import Endpoint
+from repro.net.errors import NetworkError, is_transient
 from repro.net.host import Host
 from repro.net.transport import Transport
+from repro.resolution import ResolutionPolicy
 from repro.serial import HandcodedMarshaller, StubCompiler
 
 
@@ -62,6 +64,7 @@ class BindResolver:
         name: str = "resolver",
         secondaries: typing.Sequence[Endpoint] = (),
         negative_ttl_ms: float = 0.0,
+        policy: typing.Optional[ResolutionPolicy] = None,
     ):
         if marshalling not in ("handcoded", "generated"):
             raise ValueError(f"unknown marshalling style {marshalling!r}")
@@ -79,9 +82,15 @@ class BindResolver:
         self.calibration = calibration
         self.name = name
         self.marshalling = marshalling
+        #: fault-tolerance knobs: None reproduces the prototype's
+        #: single-pass behaviour (one try per replica, no serve-stale)
+        self.policy = policy
         #: >0 enables caching of NXDOMAIN answers for that many ms — an
         #: extension of the TTL scheme that spares repeated misses for
-        #: absent names (disabled by default, as in the prototype)
+        #: absent names (disabled by default, as in the prototype).  An
+        #: explicit value wins over the policy's.
+        if negative_ttl_ms <= 0 and policy is not None:
+            negative_ttl_ms = policy.negative_ttl_ms
         self.negative_ttl_ms = negative_ttl_ms
         if marshalling == "generated":
             compiler = StubCompiler()
@@ -140,9 +149,18 @@ class BindResolver:
         yield from self.host.cpu.compute(
             max(marshal_cost, self.calibration.request_marshal_ms)
         )
-        reply = yield from self._request_with_failover(
-            request, len(request_bytes)
-        )
+        try:
+            reply = yield from self._request_with_failover(
+                request, len(request_bytes)
+            )
+        except NetworkError as err:
+            # Degradation ladder, rung 3: every replica unreachable and
+            # retries exhausted — serve an expired entry if one is still
+            # within the stale window.
+            stale = yield from self._serve_stale(key, err)
+            if stale is not None:
+                return stale
+            raise
         if not isinstance(reply, QueryResponse):
             raise BindError(f"unexpected reply {reply!r}")
         # Demarshal the response with this client's style.
@@ -172,28 +190,88 @@ class BindResolver:
             yield from self.host.cpu.compute(insert_cost)
         return list(reply.records)
 
+    def _serve_stale(
+        self, key: object, err: Exception
+    ) -> typing.Generator:
+        """Return expired-but-retained records for ``key``, or None.
+
+        Only transient failures qualify — a permanent error (no route)
+        will not be cured by the authoritative server coming back, so
+        masking it with stale data would hide a configuration problem.
+        """
+        policy = self.policy
+        if (
+            self.cache is None
+            or policy is None
+            or policy.stale_window_ms <= 0
+            or not is_transient(err)
+        ):
+            return None
+        entry = self.cache.stale_entry(key, policy.stale_window_ms)
+        if entry is None or entry.payload is _NEGATIVE:
+            return None
+        if self.cache.format is CacheFormat.MARSHALLED:
+            value, demarshal_cost = self._response_m.decode(
+                typing.cast(bytes, entry.payload)
+            )
+            records = QueryResponse.from_idl(value).records
+            yield from self.host.cpu.compute(
+                self.cache.hit_cost(entry, demarshal_cost)
+            )
+        else:
+            records = list(typing.cast(list, entry.payload))
+            yield from self.host.cpu.compute(self.cache.hit_cost(entry))
+        self.env.stats.counter(f"bind.{self.name}.stale_hits").increment()
+        self.env.trace.emit(
+            "bind",
+            f"{self.name}: serving stale {key} ({err!r})",
+        )
+        return records
+
     def _request_with_failover(
         self, payload: object, size_bytes: int
     ) -> typing.Generator:
-        """Try the primary, then each secondary, for read requests.
+        """Read-request fan-out: primary, then each secondary, with
+        policy-driven retry rounds.
 
-        Raises the last network error if every replica is unreachable.
+        One *round* tries every replica once; with a
+        :class:`ResolutionPolicy`, transiently failed rounds repeat up
+        to ``attempts`` times with jittered exponential backoff between
+        rounds.  Raises the last network error if all rounds fail.
         """
-        from repro.net.errors import NetworkError
-
+        policy = self.policy
+        rounds = policy.attempts if policy is not None else 1
+        timeout_ms = policy.call_timeout_ms if policy is not None else None
         last_error: typing.Optional[Exception] = None
-        for endpoint in [self.server] + self.secondaries:
-            try:
-                reply = yield from self.transport.request(
-                    self.host, endpoint, payload, size_bytes
+        for round_index in range(rounds):
+            if round_index:
+                self.env.stats.counter(f"bind.{self.name}.retries").increment()
+                assert policy is not None
+                delay = policy.backoff_ms(
+                    round_index - 1,
+                    self.env.rng.stream(f"bind.backoff:{self.name}"),
                 )
-            except NetworkError as err:
-                last_error = err
-                self.env.stats.counter(
-                    f"bind.{self.name}.failovers"
-                ).increment()
-                continue
-            return reply
+                if delay > 0:
+                    yield self.env.timeout(delay)
+            for endpoint in [self.server] + self.secondaries:
+                try:
+                    reply = yield from self.transport.request(
+                        self.host,
+                        endpoint,
+                        payload,
+                        size_bytes,
+                        timeout_ms=timeout_ms,
+                    )
+                except NetworkError as err:
+                    last_error = err
+                    self.env.stats.counter(
+                        f"bind.{self.name}.failovers"
+                    ).increment()
+                    continue
+                return reply
+            assert last_error is not None
+            if not is_transient(last_error):
+                raise last_error
         assert last_error is not None
         raise last_error
 

@@ -32,6 +32,7 @@ from repro.core.errors import (
     ContextNotFound,
     HnsError,
     NsmNotFound,
+    NsmUnavailable,
     QueryClassUnsupported,
 )
 from repro.core.metastore import MetaStore, NsmRecord, NameServiceRecord
@@ -42,9 +43,21 @@ from repro.core.nsm import (
     NsmStub,
     serve_nsm,
 )
-from repro.core.hns import HNS, HnsService, serve_hns
+from repro.core.hns import (
+    HNS,
+    FindNsmCall,
+    HnsService,
+    NsmBindingLike,
+    serve_hns,
+)
 from repro.core.admin import HnsAdministrator
-from repro.core.import_call import HrpcImporter
+from repro.core.import_call import (
+    HrpcImporter,
+    ImportCall,
+    LocalFinder,
+    RemoteFinder,
+    serve_agent,
+)
 from repro.core.colocation import Arrangement, ColocationStack
 from repro.core.model import ColocationModel
 
@@ -53,20 +66,27 @@ __all__ = [
     "ColocationModel",
     "ColocationStack",
     "ContextNotFound",
+    "FindNsmCall",
     "HNS",
     "HNSName",
     "HnsAdministrator",
     "HnsError",
     "HnsService",
     "HrpcImporter",
+    "ImportCall",
+    "LocalFinder",
     "LocalNsmBinding",
     "MetaStore",
     "NameServiceRecord",
     "NamingSemanticsManager",
+    "NsmBindingLike",
     "NsmNotFound",
     "NsmRecord",
     "NsmResult",
     "NsmStub",
+    "NsmUnavailable",
+    "RemoteFinder",
+    "serve_agent",
     "QUERY_CLASSES",
     "QueryClass",
     "QueryClassUnsupported",

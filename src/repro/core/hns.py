@@ -27,7 +27,7 @@ from __future__ import annotations
 
 import typing
 
-from repro.core.errors import HnsError, NsmNotFound
+from repro.core.errors import HnsError, NsmNotFound, NsmUnavailable
 from repro.core.metastore import MetaStore, NsmRecord
 from repro.core.names import HNSName
 from repro.core.nsm import LocalNsmBinding, NamingSemanticsManager
@@ -36,12 +36,29 @@ from repro.harness.calibration import Calibration, DEFAULT_CALIBRATION
 from repro.hrpc.binding import HRPCBinding
 from repro.hrpc.server import HrpcServer
 from repro.net.addresses import Endpoint, NetworkAddress
+from repro.resolution import (
+    DEFAULT_RESOLUTION_POLICY,
+    CircuitBreakerRegistry,
+    ResolutionPolicy,
+    retrying,
+)
+from repro.sim.events import Event
 
 HOST_ADDRESS_QC = "HostAddress"
 
 #: FindNSM's answer: either a handle for a remote HRPC call, or a
 #: reference to an NSM linked into this very process.
 NsmBindingLike = typing.Union[HRPCBinding, LocalNsmBinding]
+
+#: A ``FindNSM`` in flight: a simulation process generator whose return
+#: value is the binding.  Drive it with ``yield from`` (or
+#: ``env.process``); the :class:`NsmBindingLike` contract is the API
+#: boundary NSM stubs program against.
+FindNsmCall = typing.Generator[Event, typing.Any, NsmBindingLike]
+
+#: Host resolution in flight (mappings 4-6), returning the NSM host's
+#: network address.
+HostResolveCall = typing.Generator[Event, typing.Any, NetworkAddress]
 
 
 class HNS:
@@ -51,11 +68,21 @@ class HNS:
         self,
         metastore: MetaStore,
         calibration: Calibration = DEFAULT_CALIBRATION,
+        policy: typing.Optional[ResolutionPolicy] = DEFAULT_RESOLUTION_POLICY,
     ):
         self.metastore = metastore
         self.host = metastore.host
         self.env = metastore.env
         self.calibration = calibration
+        #: fault-tolerance policy for FindNSM itself (host resolution
+        #: retries, per-NSM circuit breaking); the meta lookups carry
+        #: the metastore's own policy
+        self.policy = policy
+        #: one circuit breaker per NSM name, fed by callers reporting
+        #: call outcomes via :meth:`report_nsm_outcome`
+        self.nsm_breakers = CircuitBreakerRegistry(
+            self.env, policy if policy is not None else ResolutionPolicy.disabled()
+        )
         # Statically linked HostAddress NSMs, one per name service:
         # these cut the FindNSM recursion.
         self._host_address_nsms: typing.Dict[str, NamingSemanticsManager] = {}
@@ -92,15 +119,19 @@ class HNS:
     # ------------------------------------------------------------------
     # FindNSM
     # ------------------------------------------------------------------
-    def find_nsm(
-        self, hns_name: HNSName, query_class: str
-    ) -> typing.Generator:
+    def find_nsm(self, hns_name: HNSName, query_class: str) -> FindNsmCall:
         """Locate the NSM for (context of ``hns_name``, ``query_class``).
 
         Returns an :class:`HRPCBinding` (or :class:`LocalNsmBinding` for
         a linked-in NSM).  The caller then calls the NSM itself — the
         HNS never calls NSMs on the client's behalf, since each query
         class has its own interface.
+
+        If the designated NSM's circuit breaker is open (see
+        :meth:`report_nsm_outcome`), FindNSM routes around it to a
+        linked-in copy when one exists, and otherwise fails fast with
+        :class:`NsmUnavailable` — no timeouts are burned against a
+        server already known to be dead.
         """
         query_class_named(query_class)  # fail fast on unknown classes
         cal = self.calibration
@@ -114,6 +145,27 @@ class HNS:
         )
         # Mapping 2: (name service, query class) -> NSM name.
         nsm_name = yield from self.metastore.nsm_name_for(ns_name, query_class)
+        # Degradation ladder, last rung: a tripped breaker short-circuits
+        # before mapping 3 spends anything more on a dead NSM.
+        # Strictly-open only: in the half-open state FindNSM lets the
+        # caller through so *their* NSM call can be the probe (the
+        # importer consumes the single probe slot via ``allow()``).
+        if self.policy is not None and self.policy.breaker_threshold:
+            breaker = self.nsm_breakers.breaker(nsm_name)
+            if breaker.state == "open":
+                local = self._local_nsms.get(nsm_name)
+                if local is not None:
+                    env.stats.counter("hns.breaker.rerouted").increment()
+                    env.trace.emit(
+                        "hns",
+                        f"{nsm_name} circuit open; routing to linked-in copy",
+                    )
+                    return LocalNsmBinding(local)
+                env.stats.counter("hns.breaker.fast_fails").increment()
+                raise NsmUnavailable(
+                    f"NSM {nsm_name} is circuit-broken after "
+                    f"{breaker.consecutive_failures} consecutive failures"
+                )
         # Mapping 3: NSM name -> NSM binding information.
         record = yield from self.metastore.nsm_record(nsm_name)
         env.trace.emit(
@@ -134,7 +186,15 @@ class HNS:
         # Mappings 4-6: resolve the NSM's host name to an address.  The
         # prototype performs these even when a local copy will be used —
         # the six-mapping cost structure of the paper's measurements.
-        address = yield from self._resolve_nsm_host(record)
+        # Retried as a unit: the native HostAddress lookup is the one
+        # remote call here that the meta resolver's policy cannot cover.
+        address = yield from retrying(
+            env,
+            self.policy,
+            lambda _attempt: self._resolve_nsm_host(record),
+            rng_stream="hns.backoff",
+            stat="hns.find_nsm.retries",
+        )
         local = self._local_nsms.get(nsm_name)
         if local is not None:
             return LocalNsmBinding(local)
@@ -146,7 +206,7 @@ class HNS:
             metadata={"nsm": nsm_name, "name_service": ns_name},
         )
 
-    def _resolve_nsm_host(self, record: NsmRecord) -> typing.Generator:
+    def _resolve_nsm_host(self, record: NsmRecord) -> HostResolveCall:
         """Mappings 4-6: host name -> network address.
 
         4. host context -> name service name        (meta lookup)
@@ -169,6 +229,30 @@ class HNS:
         return NetworkAddress(typing.cast(str, result.value["address"]))
 
     # ------------------------------------------------------------------
+    # Circuit-breaker feedback
+    # ------------------------------------------------------------------
+    def report_nsm_outcome(self, nsm_name: str, ok: bool) -> None:
+        """Feed an NSM call outcome into its circuit breaker.
+
+        The HNS hands out bindings but never calls non-HostAddress NSMs
+        itself, so callers (the importer, NSM stubs) report back whether
+        the designated NSM actually answered.  After
+        ``policy.breaker_threshold`` consecutive failures the breaker
+        opens and :meth:`find_nsm` routes around or fails fast.
+        """
+        if self.policy is None or not self.policy.breaker_threshold:
+            return
+        breaker = self.nsm_breakers.breaker(nsm_name)
+        if ok:
+            breaker.record_success()
+        else:
+            breaker.record_failure()
+            if breaker.state == "open":
+                self.env.trace.emit(
+                    "hns", f"circuit breaker for NSM {nsm_name} tripped"
+                )
+
+    # ------------------------------------------------------------------
     def preload(self) -> typing.Generator:
         """Preload the meta cache by zone transfer (~390 ms for ~2 KB).
 
@@ -185,10 +269,9 @@ class HNS:
 
         if self.metastore.cache.format is not CacheFormat.DEMARSHALLED:
             return count
-        for key, entry in list(self.metastore.cache._entries.items()):
-            owner = typing.cast(typing.Tuple[str, int], key)[0]
-            if not owner.endswith(f".addr.{META_ORIGIN}"):
-                continue
+        for _owner, entry in self.metastore.cache.warm_entries(
+            f".addr.{META_ORIGIN}"
+        ):
             records = typing.cast(list, entry.payload)
             fields = decode_fields(records[0].data)
             for nsm in self._host_address_nsms.values():

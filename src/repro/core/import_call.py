@@ -6,22 +6,41 @@ NSM using the query specific interface, which includes the original HNS
 name."  Import wraps that two-step dance (plus the fixed HRPC machinery
 of component selection, stub setup, and result marshalling) behind one
 call that returns a ready-to-use :class:`HRPCBinding`.
+
+Importers are built with :meth:`HrpcImporter.direct` (the two-step
+protocol runs in this process) or :meth:`HrpcImporter.via_agent` (both
+steps delegated to a remote agent — Table 3.1 row 2).  Either mode
+consults a :class:`~repro.resolution.ResolutionPolicy`: transient
+transport failures are retried with jittered backoff, and a per-NSM
+circuit breaker fails fast once an NSM is known dead.
 """
 
 from __future__ import annotations
 
 import typing
 
-from repro.core.errors import HnsError
-from repro.core.hns import HNS
+from repro.core.errors import HnsError, NsmUnavailable
+from repro.core.hns import HNS, FindNsmCall
 from repro.core.names import HNSName
-from repro.core.nsm import NsmResult, NsmStub
+from repro.core.nsm import LocalNsmBinding, NsmResult, NsmStub
 from repro.harness.calibration import Calibration, DEFAULT_CALIBRATION
 from repro.hrpc.binding import HRPCBinding
 from repro.hrpc.runtime import HrpcRuntime
+from repro.net.errors import is_transient
 from repro.net.host import Host
+from repro.resolution import (
+    DEFAULT_RESOLUTION_POLICY,
+    CircuitBreakerRegistry,
+    ResolutionPolicy,
+    retrying,
+)
+from repro.sim.events import Event
 
 BINDING_QC = "HRPCBinding"
+
+#: An ``Import`` in flight: a simulation process generator returning
+#: the ready-to-use binding for the requested service.
+ImportCall = typing.Generator[Event, typing.Any, HRPCBinding]
 
 
 class LocalFinder:
@@ -30,7 +49,8 @@ class LocalFinder:
     def __init__(self, hns: HNS):
         self.hns = hns
 
-    def find(self, hns_name: HNSName, query_class: str) -> typing.Generator:
+    def find(self, hns_name: HNSName, query_class: str) -> FindNsmCall:
+        """Run ``FindNSM`` in-process; returns the NSM binding."""
         binding = yield from self.hns.find_nsm(hns_name, query_class)
         return binding
 
@@ -38,17 +58,25 @@ class LocalFinder:
 class RemoteFinder:
     """FindNSM via an HRPC call to a remote HNS service."""
 
-    def __init__(self, runtime: HrpcRuntime, hns_binding: HRPCBinding):
+    def __init__(
+        self,
+        runtime: HrpcRuntime,
+        hns_binding: HRPCBinding,
+        policy: typing.Optional[ResolutionPolicy] = DEFAULT_RESOLUTION_POLICY,
+    ):
         self.runtime = runtime
         self.hns_binding = hns_binding
+        self.policy = policy
 
-    def find(self, hns_name: HNSName, query_class: str) -> typing.Generator:
+    def find(self, hns_name: HNSName, query_class: str) -> FindNsmCall:
+        """Call the remote HNS service's ``FindNSM`` procedure."""
         binding = yield from self.runtime.call(
             self.hns_binding,
             "FindNSM",
             str(hns_name),
             query_class,
             arg_size_bytes=hns_name.wire_size() + 32,
+            policy=self.policy,
         )
         return binding
 
@@ -67,41 +95,92 @@ def result_to_binding(result: NsmResult) -> HRPCBinding:
 class HrpcImporter:
     """Client-side Import.
 
-    Exactly one of (``finder`` + ``nsm_stub``) or (``agent_binding`` +
-    ``runtime``) must be supplied: the former runs the two-step protocol
-    from this process, the latter delegates both steps to a remote
-    agent (Table 3.1 row 2).
+    Construct with :meth:`direct` — the importer runs FindNSM and the
+    NSM call from this process — or :meth:`via_agent` — both steps are
+    delegated to a remote agent (Table 3.1 row 2).  The bare
+    constructor only carries the common state; an unwired importer
+    raises on use.
     """
 
     def __init__(
         self,
         client_host: Host,
-        finder: typing.Optional[typing.Union[LocalFinder, RemoteFinder]] = None,
-        nsm_stub: typing.Optional[NsmStub] = None,
-        agent_binding: typing.Optional[HRPCBinding] = None,
-        runtime: typing.Optional[HrpcRuntime] = None,
+        *,
         calibration: Calibration = DEFAULT_CALIBRATION,
+        policy: typing.Optional[ResolutionPolicy] = DEFAULT_RESOLUTION_POLICY,
     ):
-        direct = finder is not None and nsm_stub is not None
-        via_agent = agent_binding is not None and runtime is not None
-        if direct == via_agent:
-            raise ValueError(
-                "supply either (finder, nsm_stub) or (agent_binding, runtime)"
-            )
         self.client_host = client_host
         self.env = client_host.env
-        self.finder = finder
-        self.nsm_stub = nsm_stub
-        self.agent_binding = agent_binding
-        self.runtime = runtime
         self.calibration = calibration
+        self.policy = policy
+        self.finder: typing.Optional[
+            typing.Union[LocalFinder, RemoteFinder]
+        ] = None
+        self.nsm_stub: typing.Optional[NsmStub] = None
+        self.agent_binding: typing.Optional[HRPCBinding] = None
+        self.runtime: typing.Optional[HrpcRuntime] = None
+        self.breakers = CircuitBreakerRegistry(
+            self.env,
+            policy if policy is not None else ResolutionPolicy.disabled(),
+        )
 
+    # ------------------------------------------------------------------
+    # Construction (the public API)
+    # ------------------------------------------------------------------
+    @classmethod
+    def direct(
+        cls,
+        client_host: Host,
+        finder: typing.Union[LocalFinder, RemoteFinder],
+        nsm_stub: NsmStub,
+        calibration: Calibration = DEFAULT_CALIBRATION,
+        policy: typing.Optional[ResolutionPolicy] = DEFAULT_RESOLUTION_POLICY,
+    ) -> "HrpcImporter":
+        """An importer running the two-step protocol from this process.
+
+        With a :class:`LocalFinder`, the importer shares the HNS's
+        per-NSM circuit breakers, so NSM call failures observed here
+        make the linked-in ``FindNSM`` route around the dead NSM.
+        """
+        importer = cls(client_host, calibration=calibration, policy=policy)
+        importer.finder = finder
+        importer.nsm_stub = nsm_stub
+        if isinstance(finder, LocalFinder):
+            importer.breakers = finder.hns.nsm_breakers
+        return importer
+
+    @classmethod
+    def via_agent(
+        cls,
+        client_host: Host,
+        agent_binding: HRPCBinding,
+        runtime: HrpcRuntime,
+        calibration: Calibration = DEFAULT_CALIBRATION,
+        policy: typing.Optional[ResolutionPolicy] = DEFAULT_RESOLUTION_POLICY,
+    ) -> "HrpcImporter":
+        """An importer delegating both steps to a remote agent.
+
+        "a single process remote from the client acted as the client's
+        agent" — the client pays one HRPC call; the agent's own HNS and
+        NSM stacks handle (and fault-tolerate) the rest.
+        """
+        importer = cls(client_host, calibration=calibration, policy=policy)
+        importer.agent_binding = agent_binding
+        importer.runtime = runtime
+        return importer
+
+    # ------------------------------------------------------------------
     def import_binding(
         self, service_name: str, hns_name: HNSName
-    ) -> typing.Generator:
+    ) -> ImportCall:
         """``Import(ServiceName, HostName) -> ResultBinding``."""
         if not service_name:
             raise ValueError("Import requires a service name")
+        if self.finder is None and self.agent_binding is None:
+            raise HnsError(
+                "importer is not wired: build it with HrpcImporter.direct()"
+                " or HrpcImporter.via_agent()"
+            )
         env = self.env
         env.stats.counter("hrpc.imports").increment()
         start = env.now
@@ -109,21 +188,9 @@ class HrpcImporter:
         # instantiation, final marshalling of the Binding to the caller.
         yield from self.client_host.cpu.compute(self.calibration.import_fixed_ms)
         if self.agent_binding is not None:
-            assert self.runtime is not None
-            binding = yield from self.runtime.call(
-                self.agent_binding,
-                "Import",
-                service_name,
-                str(hns_name),
-                arg_size_bytes=hns_name.wire_size() + len(service_name) + 32,
-            )
+            binding = yield from self._import_via_agent(service_name, hns_name)
         else:
-            assert self.finder is not None and self.nsm_stub is not None
-            nsm_binding = yield from self.finder.find(hns_name, BINDING_QC)
-            result = yield from self.nsm_stub.call(
-                nsm_binding, hns_name, service=service_name
-            )
-            binding = result_to_binding(result)
+            binding = yield from self._import_direct(service_name, hns_name)
         if not isinstance(binding, HRPCBinding):
             raise HnsError(f"Import produced a non-binding {binding!r}")
         env.stats.timer("hrpc.import_ms").record(env.now - start)
@@ -132,6 +199,98 @@ class HrpcImporter:
             f"Import({service_name}, {hns_name}) -> {binding.describe()}",
         )
         return binding
+
+    # ------------------------------------------------------------------
+    def _import_via_agent(
+        self, service_name: str, hns_name: HNSName
+    ) -> ImportCall:
+        """One HRPC call to the agent, breaker-guarded and retried."""
+        assert self.agent_binding is not None and self.runtime is not None
+        breaker = None
+        if self.policy is not None and self.policy.breaker_threshold:
+            breaker = self.breakers.breaker(
+                f"agent:{self.agent_binding.program}"
+            )
+            if not breaker.allow():
+                self.env.stats.counter("hrpc.import_fast_fails").increment()
+                raise NsmUnavailable(
+                    f"agent {self.agent_binding.program} is circuit-broken"
+                )
+        try:
+            binding = yield from self.runtime.call(
+                self.agent_binding,
+                "Import",
+                service_name,
+                str(hns_name),
+                arg_size_bytes=hns_name.wire_size() + len(service_name) + 32,
+                policy=self.policy,
+            )
+        except Exception as err:  # noqa: BLE001 - breaker bookkeeping
+            if breaker is not None and is_transient(err):
+                breaker.record_failure()
+            raise
+        if breaker is not None:
+            breaker.record_success()
+        return binding
+
+    def _import_direct(
+        self, service_name: str, hns_name: HNSName
+    ) -> ImportCall:
+        """FindNSM + NSM call, retried as a unit.
+
+        Re-running the *pair* matters: after the NSM's breaker trips, the
+        next FindNSM can route around the dead NSM (to a linked-in copy)
+        instead of repeating the doomed remote call.
+        """
+        binding = yield from retrying(
+            self.env,
+            self.policy,
+            lambda _attempt: self._direct_once(service_name, hns_name),
+            rng_stream="hrpc.import.backoff",
+            stat="hrpc.import_retries",
+        )
+        return binding
+
+    def _direct_once(self, service_name: str, hns_name: HNSName) -> ImportCall:
+        assert self.finder is not None and self.nsm_stub is not None
+        nsm_binding = yield from self.finder.find(hns_name, BINDING_QC)
+        # The stub prefers a linked-in copy of the designated NSM; such
+        # calls never cross the wire, so the breaker stays out of them.
+        goes_local = isinstance(nsm_binding, LocalNsmBinding) or (
+            nsm_binding.metadata.get("nsm", "") in self.nsm_stub.local_nsms
+        )
+        breaker = None
+        if (
+            not goes_local
+            and self.policy is not None
+            and self.policy.breaker_threshold
+        ):
+            breaker = self.breakers.breaker(self._nsm_key(nsm_binding))
+            if not breaker.allow():
+                self.env.stats.counter("hrpc.import_fast_fails").increment()
+                raise NsmUnavailable(
+                    f"NSM {self._nsm_key(nsm_binding)} is circuit-broken"
+                )
+        try:
+            result = yield from self.nsm_stub.call(
+                nsm_binding, hns_name, service=service_name
+            )
+        except Exception as err:  # noqa: BLE001 - breaker bookkeeping
+            if breaker is not None and is_transient(err):
+                breaker.record_failure()
+            raise
+        if breaker is not None:
+            breaker.record_success()
+        return result_to_binding(result)
+
+    @staticmethod
+    def _nsm_key(binding: HRPCBinding) -> str:
+        """Breaker key for a remote NSM binding (its registered name)."""
+        nsm = binding.metadata.get("nsm", "")
+        if nsm:
+            return typing.cast(str, nsm)
+        program = binding.program
+        return program[4:] if program.startswith("nsm.") else program
 
 
 def serve_agent(

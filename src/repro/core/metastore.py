@@ -43,6 +43,7 @@ from repro.hrpc.suites import suite_named
 from repro.net.addresses import Endpoint
 from repro.net.host import Host
 from repro.net.transport import Transport
+from repro.resolution import DEFAULT_RESOLUTION_POLICY, ResolutionPolicy
 
 META_ORIGIN = "hns"
 
@@ -182,10 +183,15 @@ class MetaStore:
         cache_format: CacheFormat = CacheFormat.DEMARSHALLED,
         cache: typing.Optional[ResolverCache] = None,
         secondaries: typing.Sequence[Endpoint] = (),
+        policy: typing.Optional[ResolutionPolicy] = DEFAULT_RESOLUTION_POLICY,
     ):
         self.host = host
         self.env = host.env
         self.calibration = calibration
+        #: fault-tolerance policy for every meta lookup (retry/backoff
+        #: across replicas, negative caching, serve-stale); None gives
+        #: the prototype's die-on-first-error behaviour
+        self.policy = policy
         self.cache = (
             cache
             if cache is not None
@@ -194,6 +200,9 @@ class MetaStore:
                 name=f"hns-meta@{host.name}",
                 fmt=cache_format,
                 calibration=calibration,
+                stale_retention_ms=(
+                    policy.stale_window_ms if policy is not None else 0.0
+                ),
             )
         )
         # Each meta mapping is a remote call through the Raw HRPC
@@ -209,6 +218,7 @@ class MetaStore:
             calibration=calibration,
             name=f"meta@{host.name}",
             secondaries=secondaries,
+            policy=policy,
         )
 
     # ------------------------------------------------------------------

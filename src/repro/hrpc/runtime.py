@@ -15,6 +15,7 @@ from repro.hrpc.binding import HRPCBinding
 from repro.hrpc.errors import HrpcError
 from repro.hrpc.server import RpcReply, RpcRequest
 from repro.hrpc.suites import suite_named
+from repro.net.errors import is_transient
 from repro.net.host import Host
 from repro.net.internet import Internetwork
 from repro.net.transport import (
@@ -23,6 +24,27 @@ from repro.net.transport import (
     StreamTransport,
     Transport,
 )
+from repro.resolution import ResolutionPolicy
+
+
+def classify_error(exc: BaseException) -> str:
+    """``"transient"`` or ``"permanent"``, for retry decisions.
+
+    Transient: the transport could not complete the exchange (timeout,
+    crashed host, refused connection) — trying again may succeed and is
+    safe because the request never reached application code, or at
+    worst re-executes an idempotent lookup.
+
+    Permanent: everything else.  In particular a
+    :class:`~repro.net.transport.RemoteCallError` means the remote
+    *service* raised — the call was delivered and answered, so retrying
+    it would just re-raise the same application error (or worse, repeat
+    a non-idempotent operation).  ``RemoteCallError`` is therefore never
+    retried anywhere in the stack.
+    """
+    if isinstance(exc, RemoteCallError):
+        return "permanent"
+    return "transient" if is_transient(exc) else "permanent"
 
 
 class HrpcRuntime:
@@ -50,6 +72,7 @@ class HrpcRuntime:
         *args: object,
         arg_size_bytes: int = 128,
         timeout_ms: typing.Optional[float] = None,
+        policy: typing.Optional[ResolutionPolicy] = None,
     ) -> typing.Generator:
         """Invoke ``procedure`` on the program the binding points at.
 
@@ -57,6 +80,11 @@ class HrpcRuntime:
         binding: transport, data representation (reflected in the
         control cost), and control protocol all come from the suite.
         Remote exceptions re-raise in the caller.
+
+        With a :class:`ResolutionPolicy`, transport-level failures that
+        :func:`classify_error` deems transient are retried with
+        jittered exponential backoff; a :class:`RemoteCallError` — the
+        remote service itself raising — is permanent and never retried.
         """
         suite = suite_named(binding.suite)
         transport = self.transport_named(suite.transport)
@@ -69,19 +97,37 @@ class HrpcRuntime:
             suite=binding.suite,
             arg_size_bytes=arg_size_bytes,
         )
+        if timeout_ms is None and policy is not None:
+            timeout_ms = policy.call_timeout_ms
+        attempts = policy.attempts if policy is not None else 1
         self.env.stats.counter(f"hrpc.calls.{binding.suite}").increment()
-        try:
-            reply = yield from transport.request(
-                self.host,
-                binding.endpoint,
-                request,
-                arg_size_bytes,
-                timeout_ms=timeout_ms,
-            )
-        except RemoteCallError as err:
-            # Surface the remote exception as if raised locally, which
-            # is what an RPC control protocol's error path does.
-            raise err.remote_exception from err
-        if not isinstance(reply, RpcReply):
-            raise HrpcError(f"malformed reply {reply!r}")
-        return reply.result
+        for attempt in range(attempts):
+            if attempt:
+                self.env.stats.counter("hrpc.retries").increment()
+                assert policy is not None
+                delay = policy.backoff_ms(
+                    attempt - 1, self.env.rng.stream("hrpc.backoff")
+                )
+                if delay > 0:
+                    yield self.env.timeout(delay)
+            try:
+                reply = yield from transport.request(
+                    self.host,
+                    binding.endpoint,
+                    request,
+                    arg_size_bytes,
+                    timeout_ms=timeout_ms,
+                )
+            except RemoteCallError as err:
+                # Surface the remote exception as if raised locally,
+                # which is what an RPC control protocol's error path
+                # does.  Never retried: the call reached the service.
+                raise err.remote_exception from err
+            except Exception as err:  # noqa: BLE001 - classified below
+                if attempt == attempts - 1 or classify_error(err) != "transient":
+                    raise
+                continue
+            if not isinstance(reply, RpcReply):
+                raise HrpcError(f"malformed reply {reply!r}")
+            return reply.result
+        raise AssertionError("unreachable")  # pragma: no cover

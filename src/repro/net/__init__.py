@@ -20,12 +20,14 @@ fabric:
 
 from repro.net.addresses import Endpoint, NetworkAddress
 from repro.net.errors import (
+    TRANSIENT_ERRORS,
     ConnectionRefused,
     HostDown,
     NetworkError,
     NoRouteToHost,
     PortInUse,
     TransportTimeout,
+    is_transient,
 )
 from repro.net.messages import Datagram
 from repro.net.ethernet import Ethernet
@@ -48,6 +50,8 @@ __all__ = [
     "PortInUse",
     "Service",
     "StreamTransport",
+    "TRANSIENT_ERRORS",
     "Transport",
     "TransportTimeout",
+    "is_transient",
 ]

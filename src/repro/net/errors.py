@@ -1,4 +1,6 @@
-"""Network-layer exceptions."""
+"""Network-layer exceptions and their transient/permanent taxonomy."""
+
+import typing
 
 
 class NetworkError(Exception):
@@ -23,3 +25,22 @@ class TransportTimeout(NetworkError):
 
 class PortInUse(NetworkError):
     """Attempt to bind a port that already has a service."""
+
+
+#: Failures worth retrying: the condition may clear on its own (a lost
+#: datagram, a crashed host that restarts, a service that rebinds).
+TRANSIENT_ERRORS: typing.Tuple[typing.Type[BaseException], ...] = (
+    TransportTimeout,
+    HostDown,
+    ConnectionRefused,
+)
+
+
+def is_transient(exc: BaseException) -> bool:
+    """True for failures a retry might cure.
+
+    :class:`NoRouteToHost` is permanent (the topology has no path) and
+    anything non-network — including a remote application exception
+    carried back by the RPC layer — must never be blindly retried.
+    """
+    return isinstance(exc, TRANSIENT_ERRORS)

@@ -1,0 +1,272 @@
+"""Fault-tolerant resolution: the :class:`ResolutionPolicy` API.
+
+The paper leans on replicated meta-storage ("a modified BIND") and
+specialized caching for availability, but says little about what a
+client should *do* when a lookup fails mid-flight.  This module is that
+missing layer: one declarative policy object that every stage of the
+resolution path (the meta resolver, ``FindNSM``, ``Import``, the HRPC
+runtime) consults to decide
+
+- how many times to try a remote call and with what per-call timeout,
+- how long to back off between attempts (exponential, with jitter drawn
+  from the simulation's named RNG streams so runs stay deterministic),
+- whether to cache negative (NXDOMAIN) answers and for how long,
+- whether to serve *stale* cached data when the authoritative server is
+  unreachable, and for how long past expiry, and
+- when to trip a per-target circuit breaker and fail fast instead of
+  burning timeouts against a dead server.
+
+The degradation ladder is: fresh cache hit -> retry with backoff ->
+stale cache hit -> fail fast (breaker open).  Every rung is observable
+in the stats registry (``*.retries``, ``*.stale_hits``,
+``*.breaker.*``).
+
+The module sits below :mod:`repro.bind`, :mod:`repro.hrpc`, and
+:mod:`repro.core` in the dependency order so all of them can share it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+import typing
+
+from repro.net.errors import is_transient
+from repro.sim.kernel import Environment
+
+
+@dataclasses.dataclass(frozen=True)
+class ResolutionPolicy:
+    """Declarative fault-tolerance knobs for the whole resolution path.
+
+    One instance is typically shared by a :class:`~repro.core.metastore.
+    MetaStore`, its :class:`~repro.core.hns.HNS`, and the
+    :class:`~repro.core.import_call.HrpcImporter` built on top, so the
+    layers degrade coherently.
+    """
+
+    #: total tries per logical operation (1 = no retry)
+    attempts: int = 4
+    #: first backoff delay; doubles (by ``backoff_multiplier``) per retry
+    backoff_base_ms: float = 50.0
+    backoff_multiplier: float = 2.0
+    #: ceiling on any single backoff delay
+    backoff_max_ms: float = 2_000.0
+    #: fraction of the delay randomised away (0 = deterministic ladder);
+    #: jittered delays are drawn from a named ``sim.rng`` stream
+    jitter: float = 0.5
+    #: per-call transport timeout; None defers to the transport default
+    call_timeout_ms: typing.Optional[float] = 1_000.0
+    #: TTL for cached NXDOMAIN answers (0 disables negative caching)
+    negative_ttl_ms: float = 30_000.0
+    #: how long past expiry a cached answer may be served when the
+    #: authoritative server is unreachable (0 disables serve-stale)
+    stale_window_ms: float = 120_000.0
+    #: consecutive failures that trip a per-target circuit breaker
+    #: (0 disables circuit breaking)
+    breaker_threshold: int = 3
+    #: how long a tripped breaker stays open before one probe is allowed
+    breaker_reset_ms: float = 30_000.0
+
+    def __post_init__(self) -> None:
+        if self.attempts < 1:
+            raise ValueError("attempts must be >= 1")
+        if self.backoff_base_ms < 0 or self.backoff_max_ms < 0:
+            raise ValueError("backoff delays must be >= 0")
+        if self.backoff_multiplier < 1.0:
+            raise ValueError("backoff multiplier must be >= 1")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError("jitter must be in [0, 1]")
+        if self.call_timeout_ms is not None and self.call_timeout_ms <= 0:
+            raise ValueError("call timeout must be positive or None")
+        if self.negative_ttl_ms < 0:
+            raise ValueError("negative-cache TTL must be >= 0")
+        if self.stale_window_ms < 0:
+            raise ValueError("stale window must be >= 0")
+        if self.breaker_threshold < 0:
+            raise ValueError("breaker threshold must be >= 0")
+        if self.breaker_reset_ms < 0:
+            raise ValueError("breaker reset delay must be >= 0")
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def disabled(cls) -> "ResolutionPolicy":
+        """The pre-fault-tolerance behaviour: one try, no caching of
+        failures, no stale serving, no breaker.  Benchmarks use this as
+        the ablation baseline."""
+        return cls(
+            attempts=1,
+            call_timeout_ms=None,
+            negative_ttl_ms=0.0,
+            stale_window_ms=0.0,
+            breaker_threshold=0,
+        )
+
+    def backoff_ms(self, retry_index: int, rng: random.Random) -> float:
+        """Delay before retry ``retry_index`` (0 = first retry).
+
+        Exponential in ``retry_index``, capped at ``backoff_max_ms``,
+        with up to ``jitter`` of the delay replaced by a uniform draw so
+        synchronised clients do not retry in lockstep.
+        """
+        if retry_index < 0:
+            raise ValueError("retry index must be >= 0")
+        delay = min(
+            self.backoff_base_ms * (self.backoff_multiplier ** retry_index),
+            self.backoff_max_ms,
+        )
+        if self.jitter and delay > 0:
+            floor = delay * (1.0 - self.jitter)
+            delay = floor + rng.random() * (delay - floor)
+        return delay
+
+
+#: The policy used throughout the stack unless a caller overrides it.
+DEFAULT_RESOLUTION_POLICY = ResolutionPolicy()
+
+
+def retrying(
+    env: Environment,
+    policy: typing.Optional[ResolutionPolicy],
+    attempt: typing.Callable[[int], typing.Generator],
+    classify: typing.Callable[[BaseException], bool] = is_transient,
+    rng_stream: str = "resolution.backoff",
+    stat: str = "",
+) -> typing.Generator:
+    """Drive ``attempt(i)`` up to ``policy.attempts`` times.
+
+    ``attempt`` must return a *fresh* generator per call (generators are
+    single-use).  Only exceptions ``classify`` deems transient are
+    retried; everything else — and the final exhausted attempt — raises
+    to the caller.  Backoff delays are simulated time, jittered from the
+    ``rng_stream`` named stream.  ``stat``, if given, names a counter
+    incremented once per retry.
+    """
+    attempts = policy.attempts if policy is not None else 1
+    for i in range(attempts):
+        try:
+            result = yield from attempt(i)
+            return result
+        except Exception as err:  # noqa: BLE001 - classified below
+            if i == attempts - 1 or not classify(err):
+                raise
+            if stat:
+                env.stats.counter(stat).increment()
+            assert policy is not None
+            delay = policy.backoff_ms(i, env.rng.stream(rng_stream))
+            if delay > 0:
+                yield env.timeout(delay)
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
+class CircuitOpen(Exception):
+    """A call was refused because the target's circuit breaker is open.
+
+    Raised *before* any network traffic: failing fast is the point.
+    """
+
+    def __init__(self, target: str, retry_at_ms: float):
+        super().__init__(
+            f"circuit breaker for {target!r} is open (probe at "
+            f"t={retry_at_ms:.0f} ms)"
+        )
+        self.target = target
+        self.retry_at_ms = retry_at_ms
+
+
+class CircuitBreaker:
+    """Consecutive-failure circuit breaker over simulated time.
+
+    Closed until ``threshold`` consecutive recorded failures, then open
+    for ``reset_ms``; after that, half-open: one probe call is allowed
+    through, and its outcome closes or re-opens the circuit.  A
+    ``threshold`` of 0 disables the breaker entirely (always closed).
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        target: str,
+        threshold: int,
+        reset_ms: float,
+    ):
+        if threshold < 0:
+            raise ValueError("threshold must be >= 0")
+        self.env = env
+        self.target = target
+        self.threshold = threshold
+        self.reset_ms = reset_ms
+        self.consecutive_failures = 0
+        self.opened_at: typing.Optional[float] = None
+        self._probe_outstanding = False
+
+    # ------------------------------------------------------------------
+    @property
+    def state(self) -> str:
+        """``"closed"``, ``"open"``, or ``"half-open"``."""
+        if self.opened_at is None:
+            return "closed"
+        if self.env.now >= self.opened_at + self.reset_ms:
+            return "half-open"
+        return "open"
+
+    def allow(self) -> bool:
+        """May a call proceed right now?
+
+        In the half-open state only the first caller gets through (the
+        probe); concurrent callers are refused until its outcome lands.
+        """
+        if self.threshold == 0:
+            return True
+        state = self.state
+        if state == "closed":
+            return True
+        if state == "half-open" and not self._probe_outstanding:
+            self._probe_outstanding = True
+            return True
+        return False
+
+    def check(self) -> None:
+        """Raise :class:`CircuitOpen` unless :meth:`allow` passes."""
+        if not self.allow():
+            assert self.opened_at is not None
+            raise CircuitOpen(self.target, self.opened_at + self.reset_ms)
+
+    def record_success(self) -> None:
+        """A call to the target completed: close the circuit."""
+        self.consecutive_failures = 0
+        self.opened_at = None
+        self._probe_outstanding = False
+
+    def record_failure(self) -> None:
+        """A call to the target failed: maybe trip the circuit."""
+        self._probe_outstanding = False
+        self.consecutive_failures += 1
+        if self.threshold and self.consecutive_failures >= self.threshold:
+            self.opened_at = self.env.now
+
+
+class CircuitBreakerRegistry:
+    """Lazily creates one :class:`CircuitBreaker` per target name."""
+
+    def __init__(self, env: Environment, policy: ResolutionPolicy):
+        self.env = env
+        self.policy = policy
+        self._breakers: typing.Dict[str, CircuitBreaker] = {}
+
+    def breaker(self, target: str) -> CircuitBreaker:
+        """The breaker guarding ``target``, created on first use."""
+        breaker = self._breakers.get(target)
+        if breaker is None:
+            breaker = CircuitBreaker(
+                self.env,
+                target,
+                self.policy.breaker_threshold,
+                self.policy.breaker_reset_ms,
+            )
+            self._breakers[target] = breaker
+        return breaker
+
+    def states(self) -> typing.Dict[str, str]:
+        """target -> breaker state, for observability and tests."""
+        return {name: b.state for name, b in self._breakers.items()}

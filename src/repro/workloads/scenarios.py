@@ -20,6 +20,7 @@ colocation arrangements of Table 3.1.
 from __future__ import annotations
 
 import dataclasses
+import typing
 
 from repro.bind import BindServer, ResourceRecord, Zone
 from repro.clearinghouse import (
@@ -59,6 +60,7 @@ from repro.hrpc import (
 from repro.net import DatagramTransport, Internetwork, StreamTransport
 from repro.net.addresses import WELL_KNOWN_PORTS, Endpoint
 from repro.net.host import Host
+from repro.resolution import DEFAULT_RESOLUTION_POLICY, ResolutionPolicy
 from repro.sim import ConstantLatency, Environment
 
 # Fixed well-known deployment constants for the testbed.
@@ -202,14 +204,30 @@ class HcsTestbed:
             cached=cached,
         )
 
-    def make_metastore(self, host: Host) -> MetaStore:
+    def make_metastore(
+        self,
+        host: Host,
+        policy: typing.Optional[ResolutionPolicy] = DEFAULT_RESOLUTION_POLICY,
+    ) -> MetaStore:
         return MetaStore(
-            host, self.udp, self.meta_endpoint, calibration=self.calibration
+            host,
+            self.udp,
+            self.meta_endpoint,
+            calibration=self.calibration,
+            policy=policy,
         )
 
-    def make_hns(self, host: Host) -> HNS:
+    def make_hns(
+        self,
+        host: Host,
+        policy: typing.Optional[ResolutionPolicy] = DEFAULT_RESOLUTION_POLICY,
+    ) -> HNS:
         """An HNS library instance with its statically linked NSMs."""
-        hns = HNS(self.make_metastore(host), calibration=self.calibration)
+        hns = HNS(
+            self.make_metastore(host, policy=policy),
+            calibration=self.calibration,
+            policy=policy,
+        )
         hns.link_host_address_nsm(BIND_NS, self.make_bind_hostaddr_nsm(host))
         hns.link_host_address_nsm(CH_NS, self.make_ch_hostaddr_nsm(host))
         return hns
@@ -400,8 +418,15 @@ def build_stack(
     testbed: HcsTestbed,
     arrangement: Arrangement,
     name_service: str = BIND_NS,
+    policy: typing.Optional[ResolutionPolicy] = DEFAULT_RESOLUTION_POLICY,
 ) -> ColocationStack:
-    """Wire the client side for one Table 3.1 arrangement."""
+    """Wire the client side for one Table 3.1 arrangement.
+
+    ``policy`` configures the fault-tolerance layer of every stage
+    (meta resolver, HNS, importer); pass
+    ``ResolutionPolicy.disabled()`` for the prototype's die-on-error
+    behaviour (the benchmarks' ablation baseline).
+    """
     env = testbed.env
     client = testbed.client
     runtime = HrpcRuntime(client, testbed.internet)
@@ -413,19 +438,19 @@ def build_stack(
         return testbed.make_ch_binding_nsm(host)
 
     if arrangement is Arrangement.ALL_LOCAL:
-        hns = testbed.make_hns(client)
+        hns = testbed.make_hns(client, policy=policy)
         nsm = binding_nsm_for(client)
         hns.link_local_nsm(nsm)
         stub = NsmStub(client, runtime, calibration=cal)
         stub.link_local(nsm)
-        importer = HrpcImporter(
-            client, finder=LocalFinder(hns), nsm_stub=stub, calibration=cal
+        importer = HrpcImporter.direct(
+            client, LocalFinder(hns), stub, calibration=cal, policy=policy
         )
         return ColocationStack(arrangement, client, importer, hns, nsm)
 
     if arrangement is Arrangement.AGENT:
         agent_host = testbed.agent_host
-        hns = testbed.make_hns(agent_host)
+        hns = testbed.make_hns(agent_host, policy=policy)
         nsm = binding_nsm_for(agent_host)
         hns.link_local_nsm(nsm)
         agent_stub = NsmStub(agent_host, calibration=cal)
@@ -436,18 +461,15 @@ def build_stack(
         agent_binding = HRPCBinding(
             Endpoint(agent_host.address, AGENT_PORT), "hnsagent", suite="sunrpc"
         )
-        importer = HrpcImporter(
-            client,
-            agent_binding=agent_binding,
-            runtime=runtime,
-            calibration=cal,
+        importer = HrpcImporter.via_agent(
+            client, agent_binding, runtime, calibration=cal, policy=policy
         )
         return ColocationStack(
             arrangement, client, importer, hns, nsm, (agent_host,)
         )
 
     if arrangement is Arrangement.REMOTE_HNS:
-        hns = testbed.make_hns(testbed.hns_host)
+        hns = testbed.make_hns(testbed.hns_host, policy=policy)
         server = HrpcServer(testbed.hns_host, name="hns-service")
         serve_hns(hns, server)
         server.listen(HNS_PORT)
@@ -457,32 +479,33 @@ def build_stack(
         nsm = binding_nsm_for(client)
         stub = NsmStub(client, runtime, calibration=cal)
         stub.link_local(nsm)
-        importer = HrpcImporter(
+        importer = HrpcImporter.direct(
             client,
-            finder=RemoteFinder(runtime, hns_binding),
-            nsm_stub=stub,
+            RemoteFinder(runtime, hns_binding, policy=policy),
+            stub,
             calibration=cal,
+            policy=policy,
         )
         return ColocationStack(
             arrangement, client, importer, hns, nsm, (testbed.hns_host,)
         )
 
     if arrangement is Arrangement.REMOTE_NSMS:
-        hns = testbed.make_hns(client)
+        hns = testbed.make_hns(client, policy=policy)
         nsm = binding_nsm_for(testbed.nsm_host)
         server = HrpcServer(testbed.nsm_host, name="nsm-service")
         serve_nsm(server, nsm)
         server.listen(_nsm_port_for(nsm.name))
         stub = NsmStub(client, runtime, calibration=cal)
-        importer = HrpcImporter(
-            client, finder=LocalFinder(hns), nsm_stub=stub, calibration=cal
+        importer = HrpcImporter.direct(
+            client, LocalFinder(hns), stub, calibration=cal, policy=policy
         )
         return ColocationStack(
             arrangement, client, importer, hns, nsm, (testbed.nsm_host,)
         )
 
     if arrangement is Arrangement.ALL_REMOTE:
-        hns = testbed.make_hns(testbed.hns_host)
+        hns = testbed.make_hns(testbed.hns_host, policy=policy)
         hns_server = HrpcServer(testbed.hns_host, name="hns-service")
         serve_hns(hns, hns_server)
         hns_server.listen(HNS_PORT)
@@ -494,11 +517,12 @@ def build_stack(
         serve_nsm(nsm_server, nsm)
         nsm_server.listen(_nsm_port_for(nsm.name))
         stub = NsmStub(client, runtime, calibration=cal)
-        importer = HrpcImporter(
+        importer = HrpcImporter.direct(
             client,
-            finder=RemoteFinder(runtime, hns_binding),
-            nsm_stub=stub,
+            RemoteFinder(runtime, hns_binding, policy=policy),
+            stub,
             calibration=cal,
+            policy=policy,
         )
         return ColocationStack(
             arrangement,

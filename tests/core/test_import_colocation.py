@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core import Arrangement, HNSName, HrpcImporter
+from repro.core import Arrangement, HNSName, HnsError, HrpcImporter
 from repro.hrpc import HRPCBinding, HrpcRuntime
 from repro.workloads import build_stack, build_testbed
 
@@ -127,10 +127,20 @@ def test_import_requires_service_name():
     assert run(testbed.env, scenario()) == "done"
 
 
-def test_importer_constructor_validation():
+def test_importer_must_be_wired_via_classmethods():
+    """The bare constructor carries no mode; unwired importers refuse."""
     testbed = build_testbed(seed=3)
-    with pytest.raises(ValueError):
-        HrpcImporter(testbed.client)  # neither direct nor agent config
+    importer = HrpcImporter(testbed.client)  # neither .direct nor .via_agent
+
+    def scenario():
+        with pytest.raises(HnsError):
+            yield from importer.import_binding("DesiredService", FIJI)
+        return "done"
+
+    assert run(testbed.env, scenario()) == "done"
+    # The old dual-mode keyword constructor is gone for good.
+    with pytest.raises(TypeError):
+        HrpcImporter(testbed.client, finder=None, nsm_stub=None)
 
 
 def test_arrangement_metadata():

@@ -143,10 +143,10 @@ def test_many_clients_share_remote_hns_without_deadlock():
         yield env.timeout(i * 1_000)
         host = testbed.internet.add_host(f"soak{i}")
         runtime = HrpcRuntime(host, testbed.internet)
-        importer = HrpcImporter(
+        importer = HrpcImporter.direct(
             host,
-            finder=RemoteFinder(runtime, hns_binding),
-            nsm_stub=NsmStub(host, runtime),
+            RemoteFinder(runtime, hns_binding),
+            NsmStub(host, runtime),
             calibration=testbed.calibration,
         )
         binding = yield from importer.import_binding("DesiredService", FIJI)

@@ -118,7 +118,7 @@ def test_meta_server_crash_breaks_cold_lookups_only():
 
 
 def test_nsm_host_crash_with_remote_nsms():
-    from repro.net import TransportTimeout
+    from repro.core import NsmUnavailable
 
     testbed = build_testbed(seed=24)
     env = testbed.env
@@ -128,11 +128,15 @@ def test_nsm_host_crash_with_remote_nsms():
     stack.flush_nsm_caches()
 
     def cold():
-        with pytest.raises(TransportTimeout):
+        # The importer retries the timeouts until the NSM's circuit
+        # breaker trips, then FindNSM fails fast: the dead NSM has no
+        # linked-in copy to route to in this arrangement.
+        with pytest.raises(NsmUnavailable):
             yield from stack.importer.import_binding("DesiredService", FIJI)
         return "failed"
 
     assert run(env, cold()) == "failed"
+    assert stack.hns.nsm_breakers.states()[stack.binding_nsm.name] == "open"
 
 
 def test_workload_over_hns_achieves_high_hit_ratio():
@@ -185,15 +189,15 @@ def test_concurrent_clients_share_remote_hns_cache():
     from repro.workloads.scenarios import HNS_PORT
 
     runtime2 = HrpcRuntime(client2, testbed.internet)
-    importer2 = HrpcImporter(
+    importer2 = HrpcImporter.direct(
         client2,
-        finder=RemoteFinder(
+        RemoteFinder(
             runtime2,
             HRPCBinding(
                 Endpoint(testbed.hns_host.address, HNS_PORT), "hns", suite="sunrpc"
             ),
         ),
-        nsm_stub=NsmStub(client2, runtime2),
+        NsmStub(client2, runtime2),
         calibration=testbed.calibration,
     )
     start = env.now

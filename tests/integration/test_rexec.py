@@ -49,10 +49,10 @@ def rexec_world():
         hns.link_local_nsm(nsm)
         stub.link_local(nsm)
     runtime = HrpcRuntime(testbed.client, testbed.internet)
-    importer = HrpcImporter(
+    importer = HrpcImporter.direct(
         testbed.client,
-        finder=LocalFinder(hns),
-        nsm_stub=stub,
+        LocalFinder(hns),
+        stub,
         calibration=testbed.calibration,
     )
     executor = RemoteExecutor(testbed.client, importer, runtime)
