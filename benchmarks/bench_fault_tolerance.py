@@ -31,7 +31,7 @@ from repro.resolution import DEFAULT_RESOLUTION_POLICY, ResolutionPolicy
 from repro.workloads import build_testbed
 from repro.workloads.scenarios import BIND_NS
 
-from conftest import FIJI, run
+from conftest import FIJI, run, write_bench_results
 
 
 def percentile(samples, p):
@@ -139,6 +139,7 @@ def test_drop_probability_sweep(benchmark):
         return table
 
     table = benchmark(measure)
+    write_bench_results("fault_tolerance", "drop_probability_sweep", table)
     print(f"\ncold FindNSM over a lossy wire ({TRIALS} trials/cell):")
     for label, _ in CONFIGS:
         for drop in DROPS:
@@ -217,6 +218,7 @@ def test_meta_outage_serve_stale(benchmark):
         return out
 
     out = benchmark(measure)
+    write_bench_results("fault_tolerance", "meta_outage_serve_stale", out)
     print(f"\nmeta-server outage ({PROBES} FindNSMs while down, TTLs expired):")
     for label, r in out.items():
         degraded = (

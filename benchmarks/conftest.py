@@ -6,10 +6,15 @@ see it inline; values also land in ``benchmark.extra_info``), and
 asserts the reproduction tolerance recorded in EXPERIMENTS.md.
 """
 
+import json
+import pathlib
+
 import pytest
 
 from repro.core import Arrangement, HNSName
 from repro.workloads import build_stack, build_testbed
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 
 FIJI = HNSName("BIND-cs", "fiji.cs.washington.edu")
 DLION = HNSName("CH-hcs", "dlion:hcs:uw")
@@ -54,6 +59,41 @@ def measure_table_3_1_row(arrangement, seed=3):
     b = timed(env, one_import())
     c = timed(env, one_import())
     return a, b, c
+
+
+def _json_key(key):
+    if isinstance(key, str):
+        return key
+    if isinstance(key, tuple):
+        return "/".join(str(part) for part in key)
+    return str(key)
+
+
+def _jsonable(value):
+    """Dicts with tuple keys -> string keys, recursively."""
+    if isinstance(value, dict):
+        return {_json_key(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    return value
+
+
+def write_bench_results(bench_name, section, payload):
+    """Merge ``payload`` under ``section`` in BENCH_<bench_name>.json.
+
+    Machine-readable companion to the printed tables, written at the
+    repo root so CI and later sessions can diff results without
+    re-parsing pytest output.
+    """
+    path = REPO_ROOT / f"BENCH_{bench_name}.json"
+    results = {}
+    if path.exists():
+        try:
+            results = json.loads(path.read_text())
+        except ValueError:
+            results = {}
+    results[section] = _jsonable(payload)
+    path.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
 
 
 @pytest.fixture

@@ -77,6 +77,16 @@ class ResolverCache:
         self.misses = 0
         self.expirations = 0
         self.evictions = 0
+        #: lookups that piggybacked on another caller's in-flight fetch
+        self.coalesced = 0
+        #: background refresh-ahead renewals spawned for entries here
+        self.refreshes = 0
+
+    def _count(self, counter: str) -> None:
+        """Mirror an attribute counter into ``env.stats`` under the
+        stable ``cache.<name>.<counter>`` scheme, so benchmarks and
+        traces read every cache uniformly."""
+        self.env.stats.counter(f"cache.{self.name}.{counter}").increment()
 
     # ------------------------------------------------------------------
     def probe(self, key: object) -> typing.Tuple[typing.Optional[CacheEntry], float]:
@@ -91,6 +101,7 @@ class ResolverCache:
         entry = self._entries.get(key)
         if entry is None:
             self.misses += 1
+            self._count("misses")
             return None, cost
         if entry.expires_at <= self.env.now:
             # Within the stale-retention window the entry stays resident
@@ -98,10 +109,13 @@ class ResolverCache:
             if self.env.now - entry.expires_at >= self.stale_retention_ms:
                 del self._entries[key]
                 self.expirations += 1
+                self._count("expirations")
             self.misses += 1
+            self._count("misses")
             return None, cost
         self._entries.move_to_end(key)  # LRU maintenance
         self.hits += 1
+        self._count("hits")
         return entry, cost
 
     def stale_entry(
@@ -185,8 +199,7 @@ class ResolverCache:
             return 0.0
         if self.capacity is not None and len(self._entries) >= self.capacity:
             if key not in self._entries:
-                self._entries.popitem(last=False)
-                self.evictions += 1
+                self._evict_one()
         self._entries[key] = CacheEntry(
             payload=payload,
             record_count=record_count,
@@ -195,6 +208,51 @@ class ResolverCache:
         )
         self._entries.move_to_end(key)
         return self.calibration.cache_insert_ms
+
+    def _evict_one(self) -> None:
+        """Make room for one insert.
+
+        Expired entries (including stale-retained ones kept around for
+        serve-stale) are sacrificed first, oldest first, so a stale
+        resident never pushes out a live hot entry; only a cache full of
+        live entries falls back to plain LRU.
+        """
+        now = self.env.now
+        victim = None
+        for key, entry in self._entries.items():  # OrderedDict: LRU first
+            if entry.expires_at <= now:
+                victim = key
+                break
+        if victim is not None:
+            del self._entries[victim]
+        else:
+            self._entries.popitem(last=False)
+        self.evictions += 1
+        self._count("evictions")
+
+    def needs_refresh(self, entry: CacheEntry, fraction: float) -> bool:
+        """Is ``entry`` inside the refresh-ahead window?
+
+        True when less than ``fraction`` of the entry's original TTL
+        remains — the trigger for spawning a background renewal so the
+        entry is replaced before it can expire.
+        """
+        if fraction <= 0:
+            return False
+        ttl = entry.expires_at - entry.inserted_at
+        if ttl <= 0:
+            return False
+        return (entry.expires_at - self.env.now) <= fraction * ttl
+
+    def record_coalesced(self) -> None:
+        """Count a lookup that joined another caller's in-flight fetch."""
+        self.coalesced += 1
+        self._count("coalesced")
+
+    def record_refresh(self) -> None:
+        """Count a refresh-ahead renewal spawned for an entry here."""
+        self.refreshes += 1
+        self._count("refreshes")
 
     def invalidate(self, key: object) -> bool:
         """Drop one entry; True if it existed."""

@@ -51,6 +51,27 @@ QUERY_RESPONSE_IDL = StructType(
     [("status", U32Type()), ("records", ArrayType(RR_IDL, 64))],
 )
 
+BATCH_QUESTION_IDL = StructType(
+    "BatchQuestion",
+    [
+        ("name", StringType(255)),
+        ("rtype", U32Type()),
+        # 0 = literal name; i+1 = substitute a label from answer i
+        ("chain", U32Type()),
+        ("field", StringType(64)),
+    ],
+)
+
+BATCH_QUERY_REQUEST_IDL = StructType(
+    "BatchQueryRequest",
+    [("questions", ArrayType(BATCH_QUESTION_IDL, 16))],
+)
+
+BATCH_QUERY_RESPONSE_IDL = StructType(
+    "BatchQueryResponse",
+    [("answers", ArrayType(QUERY_RESPONSE_IDL, 16))],
+)
+
 UPDATE_REQUEST_IDL = StructType(
     "UpdateRequest",
     [
@@ -140,6 +161,120 @@ class QueryResponse:
         )
 
     idl_type = QUERY_RESPONSE_IDL
+
+
+@dataclasses.dataclass(frozen=True)
+class BatchQuestion:
+    """One question of a multi-question (batched) query.
+
+    ``chain_from >= 0`` makes this a *chained* question: the server
+    resolves it only after answer ``chain_from`` of the same batch, and
+    substitutes the value of ``chain_field`` (a ``key=value;...`` field
+    of that answer's first record) for the single ``*`` label in
+    ``name``.  Chaining is what lets a dependent mapping sequence —
+    context -> name service -> NSM — collapse into one round trip.
+    """
+
+    name: str
+    rtype: RRType
+    chain_from: int = -1
+    chain_field: str = ""
+
+    def to_idl(self) -> dict:
+        return {
+            "name": self.name,
+            "rtype": self.rtype.value,
+            "chain": self.chain_from + 1,
+            "field": self.chain_field,
+        }
+
+    @classmethod
+    def from_idl(cls, value: typing.Mapping[str, object]) -> "BatchQuestion":
+        return cls(
+            name=typing.cast(str, value["name"]),
+            rtype=RRType(value["rtype"]),
+            chain_from=typing.cast(int, value["chain"]) - 1,
+            chain_field=typing.cast(str, value["field"]),
+        )
+
+    idl_type = BATCH_QUESTION_IDL
+
+
+@dataclasses.dataclass
+class BatchQueryRequest:
+    """Several (possibly chained) questions in one datagram."""
+
+    questions: typing.List[BatchQuestion]
+
+    def to_idl(self) -> dict:
+        return {"questions": [q.to_idl() for q in self.questions]}
+
+    @classmethod
+    def from_idl(cls, value: typing.Mapping[str, object]) -> "BatchQueryRequest":
+        return cls(
+            questions=[
+                BatchQuestion.from_idl(v)
+                for v in typing.cast(list, value["questions"])
+            ]
+        )
+
+    idl_type = BATCH_QUERY_REQUEST_IDL
+
+
+@dataclasses.dataclass
+class BatchQueryResponse:
+    """One :class:`QueryResponse` per question, in question order."""
+
+    answers: typing.List[QueryResponse]
+
+    def to_idl(self) -> dict:
+        return {"answers": [a.to_idl() for a in self.answers]}
+
+    @classmethod
+    def from_idl(cls, value: typing.Mapping[str, object]) -> "BatchQueryResponse":
+        return cls(
+            answers=[
+                QueryResponse.from_idl(v)
+                for v in typing.cast(list, value["answers"])
+            ]
+        )
+
+    idl_type = BATCH_QUERY_RESPONSE_IDL
+
+
+def meta_field(data: bytes, field: str) -> typing.Optional[str]:
+    """Pull one ``key=value;...`` field out of UNSPEC record data.
+
+    The server-side half of question chaining: meta-zone records carry
+    their payload in this form (see :mod:`repro.core.metastore`), and a
+    chained question names the field whose value feeds its ``*`` label.
+    Returns None when the data is not in that form or lacks the field.
+    """
+    try:
+        text = data.decode("utf-8")
+    except UnicodeDecodeError:
+        return None
+    for part in text.split(";"):
+        key, sep, value = part.partition("=")
+        if sep and key == field:
+            return value
+    return None
+
+
+def substitute_label(template: str, value: str) -> str:
+    """Replace the first ``*`` label of ``template`` with ``value``.
+
+    The value is sanitised to a single label the same way registration
+    sanitises host names (non-alphanumerics become ``-``), so a chained
+    question finds the owner the registrar wrote.
+    """
+    label = "".join(c if c.isalnum() else "-" for c in value.lower())
+    labels = template.split(".")
+    for i, piece in enumerate(labels):
+        if piece == "*":
+            labels[i] = label
+            break
+    return ".".join(labels)
 
 
 class UpdateMode:

@@ -18,14 +18,19 @@ from __future__ import annotations
 
 import typing
 
-from repro.bind.cache import CacheFormat, ResolverCache
+from repro.bind.cache import CacheEntry, CacheFormat, ResolverCache
 from repro.bind.errors import BindError, NameNotFound, UpdateRefused, ZoneNotFound
 from repro.bind.messages import (
+    BATCH_QUERY_REQUEST_IDL,
+    BATCH_QUERY_RESPONSE_IDL,
     QUERY_REQUEST_IDL,
     QUERY_RESPONSE_IDL,
     STATUS_NXDOMAIN,
     STATUS_OK,
     STATUS_REFUSED,
+    BatchQueryRequest,
+    BatchQueryResponse,
+    BatchQuestion,
     QueryRequest,
     QueryResponse,
     UpdateMode,
@@ -41,8 +46,9 @@ from repro.net.addresses import Endpoint
 from repro.net.errors import NetworkError, is_transient
 from repro.net.host import Host
 from repro.net.transport import Transport
-from repro.resolution import ResolutionPolicy
+from repro.resolution import FastPathPolicy, ResolutionPolicy
 from repro.serial import HandcodedMarshaller, StubCompiler
+from repro.sim.events import Event
 
 
 #: sentinel payload marking a cached NXDOMAIN answer
@@ -65,6 +71,7 @@ class BindResolver:
         secondaries: typing.Sequence[Endpoint] = (),
         negative_ttl_ms: float = 0.0,
         policy: typing.Optional[ResolutionPolicy] = None,
+        fast_path: typing.Optional[FastPathPolicy] = None,
     ):
         if marshalling not in ("handcoded", "generated"):
             raise ValueError(f"unknown marshalling style {marshalling!r}")
@@ -92,6 +99,12 @@ class BindResolver:
         if negative_ttl_ms <= 0 and policy is not None:
             negative_ttl_ms = policy.negative_ttl_ms
         self.negative_ttl_ms = negative_ttl_ms
+        #: performance knobs (coalescing, refresh-ahead, batching);
+        #: None keeps the paper-faithful one-call-per-miss behaviour
+        self.fast_path = fast_path
+        #: in-flight single-flight fetches: cache key -> leader's event,
+        #: carrying ``(result, record_count)`` when it resolves
+        self._flights: typing.Dict[object, Event] = {}
         if marshalling == "generated":
             compiler = StubCompiler()
             self._request_m = compiler.marshaller(QUERY_REQUEST_IDL)
@@ -100,6 +113,8 @@ class BindResolver:
             self._request_m = HandcodedMarshaller(QUERY_REQUEST_IDL)
             self._response_m = HandcodedMarshaller(QUERY_RESPONSE_IDL)
         self._hand_request = HandcodedMarshaller(QUERY_REQUEST_IDL)
+        # Batch-response marshaller, built on first batched lookup.
+        self._batch_response_m: typing.Optional[object] = None
 
     # ------------------------------------------------------------------
     def lookup(
@@ -114,40 +129,226 @@ class BindResolver:
         """
         name = DomainName(name)
         key = (str(name), rtype.value)
-        env = self.env
         # --- cache probe --------------------------------------------------
         if self.cache is not None:
-            entry, probe_cost = self.cache.probe(key)
-            yield from self.host.cpu.compute(probe_cost)
-            if entry is not None and entry.payload is _NEGATIVE:
-                env.stats.counter(
-                    f"bind.{self.name}.negative_hits"
-                ).increment()
-                raise NameNotFound(f"{name} {rtype} (negatively cached)")
-            if entry is not None:
-                if self.cache.format is CacheFormat.MARSHALLED:
-                    value, demarshal_cost = self._response_m.decode(
-                        typing.cast(bytes, entry.payload)
-                    )
-                    records = QueryResponse.from_idl(value).records
-                    yield from self.host.cpu.compute(
-                        self.cache.hit_cost(entry, demarshal_cost)
-                    )
-                else:
-                    records = list(typing.cast(list, entry.payload))
-                    yield from self.host.cpu.compute(self.cache.hit_cost(entry))
-                env.stats.counter(f"bind.{self.name}.cache_hits").increment()
+            records = yield from self._probe_cache(key, name, rtype)
+            if records is not None:
                 return records
-        # --- remote call --------------------------------------------------
+        # --- single-flight coalescing ------------------------------------
+        fast = self.fast_path
+        if fast is not None and fast.coalesce:
+            flight = self._flights.get(key)
+            if flight is not None:
+                records = yield from self._follow(flight)
+                return records
+            records = yield from self._lead(
+                key, self._fetch_counted(name, rtype, key)
+            )
+            return records
+        records = yield from self._fetch(name, rtype, key)
+        return records
+
+    def _probe_cache(
+        self, key: object, name: DomainName, rtype: RRType
+    ) -> typing.Generator:
+        """Cache-only resolution: records on a fresh hit, else None.
+
+        Charges the probe and hit costs, honours negative entries
+        (raising :class:`NameNotFound`), and spawns a refresh-ahead
+        renewal when the hit lands inside the policy's refresh window.
+        """
+        env = self.env
+        assert self.cache is not None
+        entry, probe_cost = self.cache.probe(key)
+        yield from self.host.cpu.compute(probe_cost)
+        if entry is None:
+            return None
+        if entry.payload is _NEGATIVE:
+            env.stats.counter(f"bind.{self.name}.negative_hits").increment()
+            raise NameNotFound(f"{name} {rtype} (negatively cached)")
+        if self.cache.format is CacheFormat.MARSHALLED:
+            value, demarshal_cost = self._response_m.decode(
+                typing.cast(bytes, entry.payload)
+            )
+            records = QueryResponse.from_idl(value).records
+            yield from self.host.cpu.compute(
+                self.cache.hit_cost(entry, demarshal_cost)
+            )
+        else:
+            records = list(typing.cast(list, entry.payload))
+            yield from self.host.cpu.compute(self.cache.hit_cost(entry))
+        env.stats.counter(f"bind.{self.name}.cache_hits").increment()
+        self._maybe_refresh(key, name, rtype, entry)
+        return records
+
+    def cached_records(
+        self,
+        name: typing.Union[str, DomainName],
+        rtype: RRType = RRType.A,
+    ) -> typing.Generator:
+        """Public cache-only probe: records, or None on a miss.
+
+        Same costs, counters, negative handling, and refresh-ahead
+        side effects as the probe inside :meth:`lookup` — the batched
+        FindNSM path uses this to decide which mappings it still needs.
+        """
+        if self.cache is None:
+            return None
+        name = DomainName(name)
+        key = (str(name), rtype.value)
+        records = yield from self._probe_cache(key, name, rtype)
+        return records
+
+    # --- single-flight machinery --------------------------------------
+    def _lead(self, key: object, work: typing.Generator) -> typing.Generator:
+        """Run ``work`` as the single-flight leader for ``key``.
+
+        ``work`` must return ``(result, record_count)``.  Followers that
+        joined while it ran receive the result (or, defused, the same
+        exception — one classified error propagates to everyone).
+        """
+        event = self.env.event()
+        # A failure must reach followers but never the kernel: there may
+        # legitimately be nobody parked on the flight.
+        event.defuse()
+        self._flights[key] = event
+        try:
+            result, record_count = yield from work
+        except BaseException as err:
+            self._flights.pop(key, None)
+            event.fail(err)
+            raise
+        self._flights.pop(key, None)
+        event.succeed((result, record_count))
+        return result
+
+    def _follow(self, flight: Event) -> typing.Generator:
+        """Park on a leader's in-flight fetch; pay only the copy cost."""
+        if self.cache is not None:
+            self.cache.record_coalesced()
+        else:
+            self.env.stats.counter(f"bind.{self.name}.coalesced").increment()
+        result, record_count = yield flight
+        yield from self.host.cpu.compute(
+            self.calibration.cache_copy_base_ms
+            + self.calibration.cache_copy_per_record_ms * record_count
+        )
+        return list(result)
+
+    def _fetch_counted(
+        self, name: DomainName, rtype: RRType, key: object
+    ) -> typing.Generator:
+        records = yield from self._fetch(name, rtype, key)
+        return records, len(records)
+
+    # --- refresh-ahead ------------------------------------------------
+    def _maybe_refresh(
+        self, key: object, name: DomainName, rtype: RRType, entry: CacheEntry
+    ) -> None:
+        """Spawn a background renewal if ``entry`` is near expiry."""
+        fast = self.fast_path
+        if fast is None or fast.refresh_ahead_fraction <= 0:
+            return
+        assert self.cache is not None
+        if not self.cache.needs_refresh(entry, fast.refresh_ahead_fraction):
+            return
+        if key in self._flights:
+            return  # a renewal (or a coalesced miss) is already underway
+        # Register the flight synchronously so every later probe — and
+        # any miss arriving before the renewal lands — sees it.
+        event = self.env.event()
+        event.defuse()
+        self._flights[key] = event
+        self.cache.record_refresh()
+        # Defer the renewal by a jittered slice of the remaining TTL:
+        # the triggering hit keeps its hit latency (the host CPU is a
+        # FIFO device, so an immediate renewal's call overhead would
+        # head-of-line-block it), and entries inserted together do not
+        # renew in one synchronized burst.  At most half the remaining
+        # window is spent deferring, leaving the other half for the
+        # fetch itself to land before expiry.
+        defer_ms = self.env.rng.stream("bind.refresh_jitter").uniform(
+            0.0, max(0.0, entry.expires_at - self.env.now) / 2.0
+        )
+        self.env.process(self._refresh(event, key, name, rtype, defer_ms))
+
+    def _refresh(
+        self,
+        event: Event,
+        key: object,
+        name: DomainName,
+        rtype: RRType,
+        defer_ms: float = 0.0,
+    ) -> typing.Generator:
+        """The background renewal process for one cache entry.
+
+        Failures are deliberately silent: the requesting client already
+        has a fresh answer, and the still-resident entry remains
+        available to the serve-stale ladder.  Coalesced followers (cold
+        misses that joined this flight) do see the failure — for them it
+        is a real lookup failure.
+        """
+        if defer_ms > 0:
+            yield self.env.timeout(defer_ms)
+        try:
+            records = yield from self._fetch(name, rtype, key, background=True)
+        except Exception as err:
+            self._flights.pop(key, None)
+            event.fail(err)
+            self.env.stats.counter(
+                f"bind.{self.name}.refresh_failures"
+            ).increment()
+            return
+        self._flights.pop(key, None)
+        event.succeed((records, len(records)))
+
+    def _compute(
+        self, cost_ms: float, background: bool = False
+    ) -> typing.Generator:
+        """Charge ``cost_ms`` of client CPU, optionally at low priority.
+
+        Foreground work takes the host CPU FIFO as usual.  Background
+        work (refresh-ahead renewals) models a low-priority thread: it
+        backs off while anything else holds or waits for the CPU and
+        charges its cost in small slices, so a renewal's call overhead
+        never head-of-line-blocks a foreground cache hit.  Politeness is
+        bounded — on a saturated CPU the renewal stops yielding after a
+        while rather than starving past its entry's expiry.
+        """
+        if not background or cost_ms <= 0:
+            if cost_ms > 0:
+                yield from self.host.cpu.compute(cost_ms)
+            return
+        cpu = self.host.cpu
+        give_up_at = self.env.now + 40.0 * max(cost_ms, 1.0)
+        remaining = cost_ms
+        while remaining > 0:
+            while (cpu.in_use or cpu.queue_length) and self.env.now < give_up_at:
+                yield self.env.timeout(1.0)
+            step = min(4.0, remaining)
+            yield from cpu.compute(step)
+            remaining -= step
+
+    # --- the remote call ----------------------------------------------
+    def _fetch(
+        self,
+        name: DomainName,
+        rtype: RRType,
+        key: object,
+        background: bool = False,
+    ) -> typing.Generator:
+        """The full remote-call path: request, failover, serve-stale,
+        negative caching, cache insert.  Returns the record list."""
+        env = self.env
         env.stats.counter(f"bind.{self.name}.remote_lookups").increment()
         if self.per_call_overhead_ms:
-            yield from self.host.cpu.compute(self.per_call_overhead_ms)
+            yield from self._compute(self.per_call_overhead_ms, background)
         request = QueryRequest(name, rtype)
         # Requests are fixed-shape; both client styles use the cheap path
         # (the paper's generated-marshalling pain was on responses).
         request_bytes, marshal_cost = self._hand_request.encode(request.to_idl())
-        yield from self.host.cpu.compute(
-            max(marshal_cost, self.calibration.request_marshal_ms)
+        yield from self._compute(
+            max(marshal_cost, self.calibration.request_marshal_ms), background
         )
         try:
             reply = yield from self._request_with_failover(
@@ -168,13 +369,13 @@ class BindResolver:
             reply.to_idl()
         )
         _, demarshal_cost = self._response_m.decode(response_bytes)
-        yield from self.host.cpu.compute(demarshal_cost)
+        yield from self._compute(demarshal_cost, background)
         if reply.status == STATUS_NXDOMAIN:
             if self.cache is not None and self.negative_ttl_ms > 0:
                 insert_cost = self.cache.insert(
                     key, _NEGATIVE, 0, self.negative_ttl_ms
                 )
-                yield from self.host.cpu.compute(insert_cost)
+                yield from self._compute(insert_cost, background)
             raise NameNotFound(f"{name} {rtype}")
         if reply.status != STATUS_OK:
             raise BindError(f"status {reply.status} for {name} {rtype}")
@@ -187,7 +388,7 @@ class BindResolver:
             else:
                 payload = list(reply.records)
             insert_cost = self.cache.insert(key, payload, len(reply.records), ttl)
-            yield from self.host.cpu.compute(insert_cost)
+            yield from self._compute(insert_cost, background)
         return list(reply.records)
 
     def _serve_stale(
@@ -274,6 +475,110 @@ class BindResolver:
                 raise last_error
         assert last_error is not None
         raise last_error
+
+    # ------------------------------------------------------------------
+    def lookup_batch(
+        self, questions: typing.Sequence[BatchQuestion]
+    ) -> typing.Generator:
+        """Send several (possibly chained) questions in one round trip.
+
+        Returns one :class:`QueryResponse` per question, in question
+        order; per-question failures travel as answer statuses, never
+        exceptions.  Successful answers are inserted into the cache
+        under their *answer* owner name (chained questions only learn
+        their owner server-side).  Identical concurrent batches coalesce
+        like single lookups when the fast path enables it.
+        """
+        questions = list(questions)
+        key = ("batch",) + tuple(
+            (q.name, q.rtype.value, q.chain_from, q.chain_field)
+            for q in questions
+        )
+        fast = self.fast_path
+        if fast is not None and fast.coalesce:
+            flight = self._flights.get(key)
+            if flight is not None:
+                answers = yield from self._follow(flight)
+                return answers
+            answers = yield from self._lead(key, self._fetch_batch(questions))
+            return answers
+        answers, _count = yield from self._fetch_batch(questions)
+        return answers
+
+    def _fetch_batch(
+        self, questions: typing.List[BatchQuestion]
+    ) -> typing.Generator:
+        """One batched exchange; returns ``(answers, total_records)``."""
+        env = self.env
+        env.stats.counter(f"bind.{self.name}.batch_lookups").increment()
+        # One per-call overhead for the whole batch: with six sequential
+        # mappings this control cost is paid six times; here, once.
+        if self.per_call_overhead_ms:
+            yield from self.host.cpu.compute(self.per_call_overhead_ms)
+        request = BatchQueryRequest(questions)
+        request_bytes, marshal_cost = HandcodedMarshaller(
+            BATCH_QUERY_REQUEST_IDL
+        ).encode(request.to_idl())
+        yield from self.host.cpu.compute(
+            max(marshal_cost, self.calibration.request_marshal_ms)
+        )
+        reply = yield from self._request_with_failover(
+            request, len(request_bytes)
+        )
+        if not isinstance(reply, BatchQueryResponse):
+            raise BindError(f"unexpected reply {reply!r}")
+        # Demarshal the whole response with this client's style.
+        response_bytes, _ = HandcodedMarshaller(BATCH_QUERY_RESPONSE_IDL).encode(
+            reply.to_idl()
+        )
+        if self._batch_response_m is None:
+            if self.marshalling == "generated":
+                self._batch_response_m = StubCompiler().marshaller(
+                    BATCH_QUERY_RESPONSE_IDL
+                )
+            else:
+                self._batch_response_m = HandcodedMarshaller(
+                    BATCH_QUERY_RESPONSE_IDL
+                )
+        _, demarshal_cost = self._batch_response_m.decode(response_bytes)
+        yield from self.host.cpu.compute(demarshal_cost)
+        total_records = 0
+        for question, answer in zip(questions, reply.answers):
+            total_records += len(answer.records)
+            if self.cache is None:
+                continue
+            if answer.status == STATUS_OK and answer.records:
+                owner_key = (
+                    str(answer.records[0].name),
+                    question.rtype.value,
+                )
+                ttl = min(r.ttl for r in answer.records)
+                payload: object
+                if self.cache.format is CacheFormat.MARSHALLED:
+                    payload, _cost = HandcodedMarshaller(
+                        QUERY_RESPONSE_IDL
+                    ).encode(answer.to_idl())
+                else:
+                    payload = list(answer.records)
+                insert_cost = self.cache.insert(
+                    owner_key, payload, len(answer.records), ttl
+                )
+                yield from self.host.cpu.compute(insert_cost)
+            elif (
+                answer.status == STATUS_NXDOMAIN
+                and question.chain_from < 0
+                and self.negative_ttl_ms > 0
+            ):
+                # Only literal questions know their owner client-side.
+                owner_key = (
+                    str(DomainName(question.name)),
+                    question.rtype.value,
+                )
+                insert_cost = self.cache.insert(
+                    owner_key, _NEGATIVE, 0, self.negative_ttl_ms
+                )
+                yield from self.host.cpu.compute(insert_cost)
+        return reply.answers, total_records
 
     def lookup_address(self, name: typing.Union[str, DomainName]) -> typing.Generator:
         """Name-to-address convenience: returns a dotted-quad string."""

@@ -36,9 +36,11 @@ from repro.harness.calibration import Calibration, DEFAULT_CALIBRATION
 from repro.hrpc.binding import HRPCBinding
 from repro.hrpc.server import HrpcServer
 from repro.net.addresses import Endpoint, NetworkAddress
+from repro.bind.errors import NameNotFound
 from repro.resolution import (
     DEFAULT_RESOLUTION_POLICY,
     CircuitBreakerRegistry,
+    FastPathPolicy,
     ResolutionPolicy,
     retrying,
 )
@@ -69,11 +71,17 @@ class HNS:
         metastore: MetaStore,
         calibration: Calibration = DEFAULT_CALIBRATION,
         policy: typing.Optional[ResolutionPolicy] = DEFAULT_RESOLUTION_POLICY,
+        fast_path: typing.Optional[FastPathPolicy] = None,
     ):
         self.metastore = metastore
         self.host = metastore.host
         self.env = metastore.env
         self.calibration = calibration
+        #: performance policy; defaults to the metastore's so one flag
+        #: configures the whole stack (None = paper-faithful behaviour)
+        self.fast_path = (
+            fast_path if fast_path is not None else metastore.fast_path
+        )
         #: fault-tolerance policy for FindNSM itself (host resolution
         #: retries, per-NSM circuit breaking); the meta lookups carry
         #: the metastore's own policy
@@ -136,38 +144,39 @@ class HNS:
         query_class_named(query_class)  # fail fast on unknown classes
         cal = self.calibration
         env = self.env
+        fast = self.fast_path
+        batching = fast is not None and fast.batch_meta_lookups
         env.stats.counter("hns.find_nsm").increment()
         # Fixed library bookkeeping.
         yield from self.host.cpu.compute(cal.hns_fixed_ms)
-        # Mapping 1: context -> name service name.
-        ns_name = yield from self.metastore.context_to_name_service(
-            hns_name.context
-        )
-        # Mapping 2: (name service, query class) -> NSM name.
-        nsm_name = yield from self.metastore.nsm_name_for(ns_name, query_class)
-        # Degradation ladder, last rung: a tripped breaker short-circuits
-        # before mapping 3 spends anything more on a dead NSM.
-        # Strictly-open only: in the half-open state FindNSM lets the
-        # caller through so *their* NSM call can be the probe (the
-        # importer consumes the single probe slot via ``allow()``).
-        if self.policy is not None and self.policy.breaker_threshold:
-            breaker = self.nsm_breakers.breaker(nsm_name)
-            if breaker.state == "open":
-                local = self._local_nsms.get(nsm_name)
-                if local is not None:
-                    env.stats.counter("hns.breaker.rerouted").increment()
-                    env.trace.emit(
-                        "hns",
-                        f"{nsm_name} circuit open; routing to linked-in copy",
-                    )
-                    return LocalNsmBinding(local)
-                env.stats.counter("hns.breaker.fast_fails").increment()
-                raise NsmUnavailable(
-                    f"NSM {nsm_name} is circuit-broken after "
-                    f"{breaker.consecutive_failures} consecutive failures"
-                )
-        # Mapping 3: NSM name -> NSM binding information.
-        record = yield from self.metastore.nsm_record(nsm_name)
+        if batching:
+            # Mappings 1-3 as one chained batch (at most one round trip;
+            # none when the cache holds the whole chain).  The breaker
+            # check runs afterwards — the batch already carried mapping 3,
+            # so there is nothing left to save by checking earlier.
+            ns_name, nsm_name, record = yield from (
+                self.metastore.find_nsm_bundle(hns_name.context, query_class)
+            )
+            reroute = self._breaker_reroute(nsm_name)
+            if reroute is not None:
+                return reroute
+        else:
+            # Mapping 1: context -> name service name.
+            ns_name = yield from self.metastore.context_to_name_service(
+                hns_name.context
+            )
+            # Mapping 2: (name service, query class) -> NSM name.
+            nsm_name = yield from self.metastore.nsm_name_for(
+                ns_name, query_class
+            )
+            # Degradation ladder, last rung: a tripped breaker
+            # short-circuits before mapping 3 spends anything more on a
+            # dead NSM.
+            reroute = self._breaker_reroute(nsm_name)
+            if reroute is not None:
+                return reroute
+            # Mapping 3: NSM name -> NSM binding information.
+            record = yield from self.metastore.nsm_record(nsm_name)
         env.trace.emit(
             "hns",
             f"FindNSM({hns_name.context}, {query_class}) -> {nsm_name}",
@@ -183,18 +192,25 @@ class HNS:
                     f"linked into this process"
                 )
             return LocalNsmBinding(local)
-        # Mappings 4-6: resolve the NSM's host name to an address.  The
-        # prototype performs these even when a local copy will be used —
-        # the six-mapping cost structure of the paper's measurements.
-        # Retried as a unit: the native HostAddress lookup is the one
-        # remote call here that the meta resolver's policy cannot cover.
-        address = yield from retrying(
-            env,
-            self.policy,
-            lambda _attempt: self._resolve_nsm_host(record),
-            rng_stream="hns.backoff",
-            stat="hns.find_nsm.retries",
-        )
+        if batching:
+            # Fast path: the meta zone's own NSM-host address record
+            # replaces the recursive mappings 4-6 — the second (and
+            # last) round trip of a cold FindNSM.
+            address = yield from self._resolve_nsm_host_fast(record)
+        else:
+            # Mappings 4-6: resolve the NSM's host name to an address.
+            # The prototype performs these even when a local copy will
+            # be used — the six-mapping cost structure of the paper's
+            # measurements.  Retried as a unit: the native HostAddress
+            # lookup is the one remote call here that the meta
+            # resolver's policy cannot cover.
+            address = yield from retrying(
+                env,
+                self.policy,
+                lambda _attempt: self._resolve_nsm_host(record),
+                rng_stream="hns.backoff",
+                stat="hns.find_nsm.retries",
+            )
         local = self._local_nsms.get(nsm_name)
         if local is not None:
             return LocalNsmBinding(local)
@@ -205,6 +221,61 @@ class HNS:
             system_type="unix",
             metadata={"nsm": nsm_name, "name_service": ns_name},
         )
+
+    def _breaker_reroute(
+        self, nsm_name: str
+    ) -> typing.Optional[LocalNsmBinding]:
+        """Apply the circuit-breaker rung of the degradation ladder.
+
+        Strictly-open only: in the half-open state FindNSM lets the
+        caller through so *their* NSM call can be the probe (the
+        importer consumes the single probe slot via ``allow()``).
+        Returns a linked-in reroute, raises :class:`NsmUnavailable`, or
+        returns None to let resolution proceed.
+        """
+        if self.policy is None or not self.policy.breaker_threshold:
+            return None
+        breaker = self.nsm_breakers.breaker(nsm_name)
+        if breaker.state != "open":
+            return None
+        local = self._local_nsms.get(nsm_name)
+        if local is not None:
+            self.env.stats.counter("hns.breaker.rerouted").increment()
+            self.env.trace.emit(
+                "hns",
+                f"{nsm_name} circuit open; routing to linked-in copy",
+            )
+            return LocalNsmBinding(local)
+        self.env.stats.counter("hns.breaker.fast_fails").increment()
+        raise NsmUnavailable(
+            f"NSM {nsm_name} is circuit-broken after "
+            f"{breaker.consecutive_failures} consecutive failures"
+        )
+
+    def _resolve_nsm_host_fast(self, record: NsmRecord) -> HostResolveCall:
+        """Batched host resolution: one meta ``addr`` lookup.
+
+        The meta zone carries an address record per NSM host (it is what
+        preloading warms), so the fast path reads it directly instead of
+        recursing through mappings 4-6.  Hosts registered without one
+        fall back to the recursive path, keeping the two behaviours
+        answer-equivalent.
+        """
+        try:
+            addr_text = yield from self.metastore.nsm_host_address(
+                record.host_name
+            )
+            return NetworkAddress(addr_text)
+        except NameNotFound:
+            self.env.stats.counter("hns.fast_path.addr_fallbacks").increment()
+            address = yield from retrying(
+                self.env,
+                self.policy,
+                lambda _attempt: self._resolve_nsm_host(record),
+                rng_stream="hns.backoff",
+                stat="hns.find_nsm.retries",
+            )
+            return address
 
     def _resolve_nsm_host(self, record: NsmRecord) -> HostResolveCall:
         """Mappings 4-6: host name -> network address.

@@ -43,7 +43,12 @@ from repro.hrpc.suites import suite_named
 from repro.net.addresses import Endpoint
 from repro.net.host import Host
 from repro.net.transport import Transport
-from repro.resolution import DEFAULT_RESOLUTION_POLICY, ResolutionPolicy
+from repro.bind.messages import STATUS_OK, BatchQuestion
+from repro.resolution import (
+    DEFAULT_RESOLUTION_POLICY,
+    FastPathPolicy,
+    ResolutionPolicy,
+)
 
 META_ORIGIN = "hns"
 
@@ -184,6 +189,7 @@ class MetaStore:
         cache: typing.Optional[ResolverCache] = None,
         secondaries: typing.Sequence[Endpoint] = (),
         policy: typing.Optional[ResolutionPolicy] = DEFAULT_RESOLUTION_POLICY,
+        fast_path: typing.Optional[FastPathPolicy] = None,
     ):
         self.host = host
         self.env = host.env
@@ -192,6 +198,9 @@ class MetaStore:
         #: across replicas, negative caching, serve-stale); None gives
         #: the prototype's die-on-first-error behaviour
         self.policy = policy
+        #: performance policy (coalescing, refresh-ahead, batching);
+        #: None keeps the paper-faithful sequential behaviour
+        self.fast_path = fast_path
         self.cache = (
             cache
             if cache is not None
@@ -219,6 +228,7 @@ class MetaStore:
             name=f"meta@{host.name}",
             secondaries=secondaries,
             policy=policy,
+            fast_path=fast_path,
         )
 
     # ------------------------------------------------------------------
@@ -253,6 +263,112 @@ class MetaStore:
         except NameNotFound as err:
             raise NsmNotFound(nsm_name) from err
         return NsmRecord.from_fields(nsm_name, records[0].data)
+
+    def find_nsm_bundle(
+        self, context: str, query_class: str
+    ) -> typing.Generator:
+        """Mappings 1-3 in at most one (chained, batched) round trip.
+
+        Returns ``(name_service_name, nsm_name, NsmRecord)`` — exactly
+        what the sequential ``context_to_name_service`` /
+        ``nsm_name_for`` / ``nsm_record`` trio produces, but the cache
+        misses travel as one multi-question query whose later questions
+        chain on the earlier answers server-side.  Fully cached prefixes
+        are probed locally, so a warm client sends nothing at all.
+        """
+        ctx_owner = f"{context}.ctx.{META_ORIGIN}"
+        ns_name: typing.Optional[str] = None
+        nsm_name: typing.Optional[str] = None
+        try:
+            records = yield from self.resolver.cached_records(
+                ctx_owner, RRType.UNSPEC
+            )
+        except NameNotFound as err:
+            raise ContextNotFound(context) from err
+        if records is not None:
+            ns_name = decode_fields(records[0].data)["ns"]
+        if ns_name is not None:
+            try:
+                records = yield from self.resolver.cached_records(
+                    f"{query_class}.{ns_name}.q.{META_ORIGIN}", RRType.UNSPEC
+                )
+            except NameNotFound as err:
+                raise NsmNotFound(f"{query_class} on {ns_name}") from err
+            if records is not None:
+                nsm_name = decode_fields(records[0].data)["nsm"]
+        if nsm_name is not None:
+            try:
+                records = yield from self.resolver.cached_records(
+                    f"{nsm_name}.nsm.{META_ORIGIN}", RRType.UNSPEC
+                )
+            except NameNotFound as err:
+                raise NsmNotFound(nsm_name) from err
+            if records is not None:
+                return (
+                    ns_name,
+                    nsm_name,
+                    NsmRecord.from_fields(nsm_name, records[0].data),
+                )
+        # Build the chained batch for whatever suffix is still missing.
+        # ``stage`` tracks which mapping the first question answers so
+        # NXDOMAINs map onto the same errors the sequential path raises.
+        if ns_name is None:
+            questions = [
+                BatchQuestion(ctx_owner, RRType.UNSPEC),
+                BatchQuestion(
+                    f"{query_class}.*.q.{META_ORIGIN}",
+                    RRType.UNSPEC,
+                    chain_from=0,
+                    chain_field="ns",
+                ),
+                BatchQuestion(
+                    f"*.nsm.{META_ORIGIN}",
+                    RRType.UNSPEC,
+                    chain_from=1,
+                    chain_field="nsm",
+                ),
+            ]
+            stage = 0
+        elif nsm_name is None:
+            questions = [
+                BatchQuestion(
+                    f"{query_class}.{ns_name}.q.{META_ORIGIN}", RRType.UNSPEC
+                ),
+                BatchQuestion(
+                    f"*.nsm.{META_ORIGIN}",
+                    RRType.UNSPEC,
+                    chain_from=0,
+                    chain_field="nsm",
+                ),
+            ]
+            stage = 1
+        else:
+            questions = [
+                BatchQuestion(f"{nsm_name}.nsm.{META_ORIGIN}", RRType.UNSPEC)
+            ]
+            stage = 2
+        answers = yield from self.resolver.lookup_batch(questions)
+        for offset, answer in enumerate(answers):
+            if answer.status == STATUS_OK and answer.records:
+                continue
+            failed = stage + offset
+            if failed == 0:
+                raise ContextNotFound(context)
+            if failed == 1:
+                raise NsmNotFound(f"{query_class} on {ns_name or context}")
+            raise NsmNotFound(nsm_name or f"{query_class} on {ns_name}")
+        if stage == 0:
+            ns_name = decode_fields(answers[0].records[0].data)["ns"]
+            nsm_name = decode_fields(answers[1].records[0].data)["nsm"]
+        elif stage == 1:
+            nsm_name = decode_fields(answers[0].records[0].data)["nsm"]
+        assert ns_name is not None and nsm_name is not None
+        nsm_answer = answers[-1]
+        return (
+            ns_name,
+            nsm_name,
+            NsmRecord.from_fields(nsm_name, nsm_answer.records[0].data),
+        )
 
     def name_service_record(self, ns_name: str) -> typing.Generator:
         """Descriptor lookup (used by admin tooling and NSM bootstrap)."""

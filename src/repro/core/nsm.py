@@ -31,6 +31,8 @@ from repro.hrpc.binding import HRPCBinding
 from repro.hrpc.runtime import HrpcRuntime
 from repro.hrpc.server import HrpcServer
 from repro.net.host import Host
+from repro.resolution import FastPathPolicy
+from repro.sim.events import Event
 
 
 @dataclasses.dataclass
@@ -63,6 +65,7 @@ class NamingSemanticsManager:
         name: str = "",
         calibration: Calibration = DEFAULT_CALIBRATION,
         cached: bool = True,
+        fast_path: typing.Optional[FastPathPolicy] = None,
     ):
         if not self.query_class:
             raise TypeError("NSM subclasses must set query_class")
@@ -89,6 +92,11 @@ class NamingSemanticsManager:
             if cached
             else None
         )
+        #: performance knobs (coalescing, refresh-ahead); None keeps
+        #: the one-native-call-per-miss behaviour.  Also settable after
+        #: construction, since concrete NSMs have their own signatures.
+        self.fast_path = fast_path
+        self._flights: typing.Dict[object, Event] = {}
 
     # ------------------------------------------------------------------
     def resolve(
@@ -132,11 +140,54 @@ class NamingSemanticsManager:
                     self.cache.hit_cost(entry) + self.cache_hit_extra_ms
                 )
                 self.env.stats.counter(f"nsm.{self.name}.cache_hits").increment()
+                self._maybe_refresh(key, hns_name, dict(params), entry)
                 return NsmResult(
                     self.query_class,
                     dict(typing.cast(dict, entry.payload)),
                     from_cache=True,
                 )
+            fast = self.fast_path
+            if fast is not None and fast.coalesce:
+                flight = self._flights.get(key)
+                if flight is not None:
+                    # Park on the leader's native call; pay the copy.
+                    self.cache.record_coalesced()
+                    value = yield flight
+                    yield from self.host.cpu.compute(
+                        self.calibration.cache_copy_base_ms
+                        + self.calibration.cache_copy_per_record_ms
+                    )
+                    return NsmResult(
+                        self.query_class,
+                        dict(typing.cast(dict, value)),
+                        from_cache=True,
+                    )
+                event = self.env.event()
+                event.defuse()  # followers may be zero
+                self._flights[key] = event
+                try:
+                    result = yield from self._native_query(
+                        hns_name, params, key
+                    )
+                except BaseException as err:
+                    self._flights.pop(key, None)
+                    event.fail(err)
+                    raise
+                self._flights.pop(key, None)
+                event.succeed(result.value)
+                return result
+            result = yield from self._native_query(hns_name, params, key)
+            return result
+        result = yield from self._native_query(hns_name, params, None)
+        return result
+
+    def _native_query(
+        self,
+        hns_name: HNSName,
+        params: typing.Mapping[str, object],
+        key: typing.Optional[object],
+    ) -> typing.Generator:
+        """The cache-miss path: translate, resolve natively, insert."""
         self.env.stats.counter(f"nsm.{self.name}.native_queries").increment()
         if self.translate_cost_ms:
             yield from self.host.cpu.compute(self.translate_cost_ms)
@@ -144,13 +195,67 @@ class NamingSemanticsManager:
         if self.standardize_cost_ms:
             yield from self.host.cpu.compute(self.standardize_cost_ms)
         result = NsmResult(self.query_class, dict(value))
-        if self.cache is not None:
+        if self.cache is not None and key is not None:
             insert_cost = self.cache.insert(key, dict(value), 1, ttl_ms)
             yield from self.host.cpu.compute(insert_cost)
         self.env.trace.emit(
             "nsm", f"{self.name}: resolved {hns_name}", params=dict(params)
         )
         return result
+
+    def _maybe_refresh(
+        self,
+        key: object,
+        hns_name: HNSName,
+        params: typing.Dict[str, object],
+        entry,
+    ) -> None:
+        """Spawn a background renewal if ``entry`` is near expiry."""
+        fast = self.fast_path
+        if fast is None or fast.refresh_ahead_fraction <= 0:
+            return
+        assert self.cache is not None
+        if not self.cache.needs_refresh(entry, fast.refresh_ahead_fraction):
+            return
+        if key in self._flights:
+            return
+        event = self.env.event()
+        event.defuse()
+        self._flights[key] = event
+        self.cache.record_refresh()
+        # Jittered deferral, as in the resolver: keep the triggering
+        # hit's latency intact and spread renewals over the window.
+        defer_ms = self.env.rng.stream("nsm.refresh_jitter").uniform(
+            0.0, max(0.0, entry.expires_at - self.env.now) / 2.0
+        )
+        self.env.process(
+            self._refresh(event, key, hns_name, params, defer_ms)
+        )
+
+    def _refresh(
+        self,
+        event: Event,
+        key: object,
+        hns_name: HNSName,
+        params: typing.Dict[str, object],
+        defer_ms: float = 0.0,
+    ) -> typing.Generator:
+        """Background renewal: silent on failure (the entry simply ages
+        out and serve-stale takes over); coalesced followers do see the
+        failure, as for them it is a real lookup."""
+        if defer_ms > 0:
+            yield self.env.timeout(defer_ms)
+        try:
+            result = yield from self._native_query(hns_name, params, key)
+        except Exception as err:
+            self._flights.pop(key, None)
+            event.fail(err)
+            self.env.stats.counter(
+                f"nsm.{self.name}.refresh_failures"
+            ).increment()
+            return
+        self._flights.pop(key, None)
+        event.succeed(result.value)
 
 
 # ----------------------------------------------------------------------

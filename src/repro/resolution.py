@@ -23,6 +23,13 @@ in the stats registry (``*.retries``, ``*.stale_hits``,
 
 The module sits below :mod:`repro.bind`, :mod:`repro.hrpc`, and
 :mod:`repro.core` in the dependency order so all of them can share it.
+
+Its sibling :class:`FastPathPolicy` governs the *performance* side of
+the same path: single-flight coalescing of identical in-flight lookups,
+refresh-ahead cache renewal, and batched meta lookups.  Both policies
+follow the same pattern — a frozen dataclass whose ``.disabled()``
+constructor reproduces the paper-faithful prototype behaviour, so
+benchmarks can ablate each mechanism independently.
 """
 
 from __future__ import annotations
@@ -123,6 +130,63 @@ class ResolutionPolicy:
 
 #: The policy used throughout the stack unless a caller overrides it.
 DEFAULT_RESOLUTION_POLICY = ResolutionPolicy()
+
+
+@dataclasses.dataclass(frozen=True)
+class FastPathPolicy:
+    """Performance knobs for the hot resolution path.
+
+    The paper's cold ``FindNSM`` is six strictly sequential data
+    mappings, "each of which involves a remote call in the case of a
+    cache miss", and every concurrent miss on a host fires its own
+    duplicate remote call.  This policy enables the three mechanisms
+    that fix that under load:
+
+    - **single-flight coalescing** (``coalesce``): concurrent identical
+      ``(owner, rtype)`` lookups on one host share one in-flight remote
+      call; followers park on the leader's event and pay only the
+      cache-copy cost.  A leader failure propagates the one classified
+      error to every follower.
+    - **refresh-ahead renewal** (``refresh_ahead_fraction``): a probe
+      that hits within the last ``fraction`` of an entry's TTL spawns a
+      background renewal, so hot keys never go cold and tail latency
+      stays at cache-hit cost.  Renewal failures are silent — the entry
+      simply ages out and the :class:`ResolutionPolicy` serve-stale
+      ladder takes over.
+    - **batched meta lookups** (``batch_meta_lookups``): ``FindNSM``
+      fetches mappings 1–3 as one chained multi-question query and the
+      NSM-host address as one more — two round trips instead of six.
+
+    ``None`` anywhere a :class:`FastPathPolicy` is accepted means the
+    same as :meth:`disabled`: the paper-faithful sequential behaviour.
+    """
+
+    #: share one remote call among concurrent identical lookups
+    coalesce: bool = True
+    #: a hit this close to expiry (as a fraction of the entry's TTL)
+    #: triggers a background renewal; 0 disables refresh-ahead
+    refresh_ahead_fraction: float = 0.2
+    #: resolve FindNSM's meta mappings with chained batch queries
+    batch_meta_lookups: bool = True
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.refresh_ahead_fraction <= 1.0:
+            raise ValueError("refresh-ahead fraction must be in [0, 1]")
+
+    @classmethod
+    def disabled(cls) -> "FastPathPolicy":
+        """The paper's six-sequential-mapping behaviour: no coalescing,
+        no refresh-ahead, no batching.  The ablation baseline."""
+        return cls(
+            coalesce=False,
+            refresh_ahead_fraction=0.0,
+            batch_meta_lookups=False,
+        )
+
+
+#: Everything on: what the fast-path benchmarks opt into.  The stack
+#: default stays ``None`` (off) so the paper-reproduction numbers hold.
+DEFAULT_FAST_PATH_POLICY = FastPathPolicy()
 
 
 def retrying(

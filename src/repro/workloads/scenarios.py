@@ -60,7 +60,11 @@ from repro.hrpc import (
 from repro.net import DatagramTransport, Internetwork, StreamTransport
 from repro.net.addresses import WELL_KNOWN_PORTS, Endpoint
 from repro.net.host import Host
-from repro.resolution import DEFAULT_RESOLUTION_POLICY, ResolutionPolicy
+from repro.resolution import (
+    DEFAULT_RESOLUTION_POLICY,
+    FastPathPolicy,
+    ResolutionPolicy,
+)
 from repro.sim import ConstantLatency, Environment
 
 # Fixed well-known deployment constants for the testbed.
@@ -208,6 +212,7 @@ class HcsTestbed:
         self,
         host: Host,
         policy: typing.Optional[ResolutionPolicy] = DEFAULT_RESOLUTION_POLICY,
+        fast_path: typing.Optional[FastPathPolicy] = None,
     ) -> MetaStore:
         return MetaStore(
             host,
@@ -215,21 +220,27 @@ class HcsTestbed:
             self.meta_endpoint,
             calibration=self.calibration,
             policy=policy,
+            fast_path=fast_path,
         )
 
     def make_hns(
         self,
         host: Host,
         policy: typing.Optional[ResolutionPolicy] = DEFAULT_RESOLUTION_POLICY,
+        fast_path: typing.Optional[FastPathPolicy] = None,
     ) -> HNS:
         """An HNS library instance with its statically linked NSMs."""
         hns = HNS(
-            self.make_metastore(host, policy=policy),
+            self.make_metastore(host, policy=policy, fast_path=fast_path),
             calibration=self.calibration,
             policy=policy,
         )
-        hns.link_host_address_nsm(BIND_NS, self.make_bind_hostaddr_nsm(host))
-        hns.link_host_address_nsm(CH_NS, self.make_ch_hostaddr_nsm(host))
+        bind_addr_nsm = self.make_bind_hostaddr_nsm(host)
+        ch_addr_nsm = self.make_ch_hostaddr_nsm(host)
+        bind_addr_nsm.fast_path = fast_path
+        ch_addr_nsm.fast_path = fast_path
+        hns.link_host_address_nsm(BIND_NS, bind_addr_nsm)
+        hns.link_host_address_nsm(CH_NS, ch_addr_nsm)
         return hns
 
 
@@ -419,13 +430,17 @@ def build_stack(
     arrangement: Arrangement,
     name_service: str = BIND_NS,
     policy: typing.Optional[ResolutionPolicy] = DEFAULT_RESOLUTION_POLICY,
+    fast_path: typing.Optional[FastPathPolicy] = None,
 ) -> ColocationStack:
     """Wire the client side for one Table 3.1 arrangement.
 
     ``policy`` configures the fault-tolerance layer of every stage
     (meta resolver, HNS, importer); pass
     ``ResolutionPolicy.disabled()`` for the prototype's die-on-error
-    behaviour (the benchmarks' ablation baseline).
+    behaviour (the benchmarks' ablation baseline).  ``fast_path``
+    likewise configures the performance layer (coalescing,
+    refresh-ahead, batched meta lookups) of the HNS in the stack; the
+    default ``None`` keeps the paper-faithful sequential behaviour.
     """
     env = testbed.env
     client = testbed.client
@@ -438,7 +453,7 @@ def build_stack(
         return testbed.make_ch_binding_nsm(host)
 
     if arrangement is Arrangement.ALL_LOCAL:
-        hns = testbed.make_hns(client, policy=policy)
+        hns = testbed.make_hns(client, policy=policy, fast_path=fast_path)
         nsm = binding_nsm_for(client)
         hns.link_local_nsm(nsm)
         stub = NsmStub(client, runtime, calibration=cal)
@@ -450,7 +465,7 @@ def build_stack(
 
     if arrangement is Arrangement.AGENT:
         agent_host = testbed.agent_host
-        hns = testbed.make_hns(agent_host, policy=policy)
+        hns = testbed.make_hns(agent_host, policy=policy, fast_path=fast_path)
         nsm = binding_nsm_for(agent_host)
         hns.link_local_nsm(nsm)
         agent_stub = NsmStub(agent_host, calibration=cal)
@@ -469,7 +484,7 @@ def build_stack(
         )
 
     if arrangement is Arrangement.REMOTE_HNS:
-        hns = testbed.make_hns(testbed.hns_host, policy=policy)
+        hns = testbed.make_hns(testbed.hns_host, policy=policy, fast_path=fast_path)
         server = HrpcServer(testbed.hns_host, name="hns-service")
         serve_hns(hns, server)
         server.listen(HNS_PORT)
@@ -491,7 +506,7 @@ def build_stack(
         )
 
     if arrangement is Arrangement.REMOTE_NSMS:
-        hns = testbed.make_hns(client, policy=policy)
+        hns = testbed.make_hns(client, policy=policy, fast_path=fast_path)
         nsm = binding_nsm_for(testbed.nsm_host)
         server = HrpcServer(testbed.nsm_host, name="nsm-service")
         serve_nsm(server, nsm)
@@ -505,7 +520,7 @@ def build_stack(
         )
 
     if arrangement is Arrangement.ALL_REMOTE:
-        hns = testbed.make_hns(testbed.hns_host, policy=policy)
+        hns = testbed.make_hns(testbed.hns_host, policy=policy, fast_path=fast_path)
         hns_server = HrpcServer(testbed.hns_host, name="hns-service")
         serve_hns(hns, hns_server)
         hns_server.listen(HNS_PORT)

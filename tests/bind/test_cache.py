@@ -57,6 +57,36 @@ def test_lru_eviction():
     assert cache.evictions == 1
 
 
+def test_eviction_prefers_expired_over_live():
+    """At capacity, a dead entry goes before the LRU live one."""
+    env = Environment()
+    cache = ResolverCache(env, capacity=2)
+    cache.insert("a", 1, 1, 10_000)  # LRU but live
+    cache.insert("b", 2, 1, 50)  # expires first
+    env.run(until=60)
+    cache.insert("c", 3, 1, 10_000)
+    assert "a" in cache and "c" in cache and "b" not in cache
+    assert cache.evictions == 1
+
+
+def test_counters_mirrored_into_env_stats():
+    """Every cache counter doubles as a cache.<name>.<counter> stat."""
+    env = Environment()
+    cache = ResolverCache(env, name="unit", capacity=1)
+    cache.probe("k")  # miss
+    cache.insert("k", "v", 1, 1000)
+    cache.probe("k")  # hit
+    cache.insert("other", "w", 1, 1000)  # evicts k
+    cache.record_coalesced()
+    cache.record_refresh()
+    counters = env.stats.counters()
+    assert counters["cache.unit.misses"] == cache.misses == 1
+    assert counters["cache.unit.hits"] == cache.hits == 1
+    assert counters["cache.unit.evictions"] == cache.evictions == 1
+    assert counters["cache.unit.coalesced"] == cache.coalesced == 1
+    assert counters["cache.unit.refreshes"] == cache.refreshes == 1
+
+
 def test_reinsert_at_capacity_does_not_evict_other():
     env = Environment()
     cache = ResolverCache(env, capacity=2)
