@@ -15,7 +15,7 @@ mechanism the paper reused to preload the HNS cache.
 
 from repro.bind.names import DomainName
 from repro.bind.rr import ResourceRecord, RRType
-from repro.bind.zone import Zone
+from repro.bind.zone import Zone, ZoneDelta
 from repro.bind.errors import (
     BindError,
     NameNotFound,
@@ -24,6 +24,8 @@ from repro.bind.errors import (
     ZoneNotFound,
 )
 from repro.bind.messages import (
+    IxfrRequest,
+    IxfrResponse,
     QueryRequest,
     QueryResponse,
     UpdateRequest,
@@ -31,6 +33,7 @@ from repro.bind.messages import (
     XferRequest,
     XferResponse,
 )
+from repro.bind.replica import ReplicaScheduler, ReplicaState
 from repro.bind.server import BindServer
 from repro.bind.secondary import SecondaryBindServer
 from repro.bind.zonefile import (
@@ -48,10 +51,14 @@ __all__ = [
     "BindServer",
     "CacheFormat",
     "DomainName",
+    "IxfrRequest",
+    "IxfrResponse",
     "NameNotFound",
     "NotAuthoritative",
     "QueryRequest",
     "QueryResponse",
+    "ReplicaScheduler",
+    "ReplicaState",
     "ResolverCache",
     "ResourceRecord",
     "RRType",
@@ -62,6 +69,7 @@ __all__ = [
     "XferRequest",
     "XferResponse",
     "Zone",
+    "ZoneDelta",
     "ZoneFileError",
     "ZoneNotFound",
     "load_zone_file",

@@ -13,6 +13,7 @@ import typing
 
 from repro.bind.names import DomainName
 from repro.bind.rr import ResourceRecord, RRType
+from repro.bind.zone import ZoneDelta
 from repro.serial import (
     ArrayType,
     OpaqueType,
@@ -100,6 +101,34 @@ XFER_RESPONSE_IDL = StructType(
     [
         ("status", U32Type()),
         ("serial", U32Type()),
+        ("records", ArrayType(RR_IDL, 4096)),
+    ],
+)
+
+IXFR_REQUEST_IDL = StructType(
+    "IxfrRequest",
+    [("origin", StringType(255)), ("serial", U32Type())],
+)
+
+IXFR_DELTA_IDL = StructType(
+    "IxfrDelta",
+    [
+        ("serial", U32Type()),
+        ("name", StringType(255)),
+        ("rtype", U32Type()),
+        ("records", ArrayType(RR_IDL, 64)),
+    ],
+)
+
+IXFR_RESPONSE_IDL = StructType(
+    "IxfrResponse",
+    [
+        ("status", U32Type()),
+        ("serial", U32Type()),
+        # 1 = the journal could not cover the delta; ``records`` holds a
+        # full AXFR-style snapshot and ``deltas`` is empty
+        ("full", U32Type()),
+        ("deltas", ArrayType(IXFR_DELTA_IDL, 1024)),
         ("records", ArrayType(RR_IDL, 4096)),
     ],
 )
@@ -368,3 +397,77 @@ class XferResponse:
         }
 
     idl_type = XFER_RESPONSE_IDL
+
+
+def delta_to_idl(delta: ZoneDelta) -> dict:
+    """Journal entry -> IDL dict value."""
+    return {
+        "serial": delta.serial,
+        "name": str(delta.name),
+        "rtype": delta.rtype.value,
+        "records": [rr_to_idl(r) for r in delta.records],
+    }
+
+
+def delta_from_idl(value: typing.Mapping[str, object]) -> ZoneDelta:
+    """IDL dict value -> journal entry."""
+    return ZoneDelta(
+        serial=typing.cast(int, value["serial"]),
+        name=DomainName(typing.cast(str, value["name"])),
+        rtype=RRType(value["rtype"]),
+        records=tuple(
+            rr_from_idl(v) for v in typing.cast(list, value["records"])
+        ),
+    )
+
+
+@dataclasses.dataclass
+class IxfrRequest:
+    """IXFR: ask for the dynamic updates past ``serial``."""
+
+    origin: DomainName
+    serial: int
+
+    def to_idl(self) -> dict:
+        return {"origin": str(self.origin), "serial": self.serial}
+
+    idl_type = IXFR_REQUEST_IDL
+
+
+@dataclasses.dataclass
+class IxfrResponse:
+    """IXFR answer: either the journal delta past the requested serial
+    (``full == 0``, entries in ``deltas``) or — when the journal was
+    truncated — a full AXFR-style snapshot (``full == 1``, records in
+    ``records``)."""
+
+    status: int
+    serial: int
+    full: int
+    deltas: typing.List[ZoneDelta]
+    records: typing.List[ResourceRecord]
+
+    def to_idl(self) -> dict:
+        return {
+            "status": self.status,
+            "serial": self.serial,
+            "full": self.full,
+            "deltas": [delta_to_idl(d) for d in self.deltas],
+            "records": [rr_to_idl(r) for r in self.records],
+        }
+
+    @classmethod
+    def from_idl(cls, value: typing.Mapping[str, object]) -> "IxfrResponse":
+        return cls(
+            status=typing.cast(int, value["status"]),
+            serial=typing.cast(int, value["serial"]),
+            full=typing.cast(int, value["full"]),
+            deltas=[
+                delta_from_idl(v) for v in typing.cast(list, value["deltas"])
+            ],
+            records=[
+                rr_from_idl(v) for v in typing.cast(list, value["records"])
+            ],
+        )
+
+    idl_type = IXFR_RESPONSE_IDL

@@ -31,6 +31,8 @@ from repro.bind.messages import (
     BatchQueryRequest,
     BatchQueryResponse,
     BatchQuestion,
+    IxfrRequest,
+    IxfrResponse,
     QueryRequest,
     QueryResponse,
     UpdateMode,
@@ -40,13 +42,15 @@ from repro.bind.messages import (
     XferResponse,
 )
 from repro.bind.names import DomainName
+from repro.bind.replica import ReplicaScheduler, ReplicaState
 from repro.bind.rr import ResourceRecord, RRType
+from repro.bind.zone import ZoneDelta
 from repro.harness.calibration import Calibration, DEFAULT_CALIBRATION
 from repro.net.addresses import Endpoint
 from repro.net.errors import NetworkError, is_transient
 from repro.net.host import Host
 from repro.net.transport import Transport
-from repro.resolution import FastPathPolicy, ResolutionPolicy
+from repro.resolution import FastPathPolicy, ReplicaPolicy, ResolutionPolicy
 from repro.serial import HandcodedMarshaller, StubCompiler
 from repro.sim.events import Event
 
@@ -72,6 +76,7 @@ class BindResolver:
         negative_ttl_ms: float = 0.0,
         policy: typing.Optional[ResolutionPolicy] = None,
         fast_path: typing.Optional[FastPathPolicy] = None,
+        replica_policy: typing.Optional[ReplicaPolicy] = None,
     ):
         if marshalling not in ("handcoded", "generated"):
             raise ValueError(f"unknown marshalling style {marshalling!r}")
@@ -102,6 +107,19 @@ class BindResolver:
         #: performance knobs (coalescing, refresh-ahead, batching);
         #: None keeps the paper-faithful one-call-per-miss behaviour
         self.fast_path = fast_path
+        #: replica-aware read knobs (adaptive selection, hedging, IXFR);
+        #: None keeps the static primary-then-secondaries failover
+        self.replica_policy = replica_policy
+        self._scheduler: typing.Optional[ReplicaScheduler] = None
+        if replica_policy is not None and replica_policy.scheduling:
+            self._scheduler = ReplicaScheduler(
+                self.env,
+                [server] + self.secondaries,
+                replica_policy,
+                name=self.name,
+            )
+        #: origin -> serial of the last cache preload, for IXFR re-preload
+        self._preload_serials: typing.Dict[str, int] = {}
         #: in-flight single-flight fetches: cache key -> leader's event,
         #: carrying ``(result, record_count)`` when it resolves
         self._flights: typing.Dict[object, Event] = {}
@@ -432,6 +450,23 @@ class BindResolver:
     def _request_with_failover(
         self, payload: object, size_bytes: int
     ) -> typing.Generator:
+        """One read request against the replica set.
+
+        With a :class:`~repro.resolution.ReplicaPolicy` whose scheduling
+        is enabled, the exchange is replica-aware (adaptive ordering,
+        breaker skip, hedging); otherwise it is the prototype's static
+        primary-then-secondaries failover.  Both honour the
+        :class:`ResolutionPolicy` retry rounds.
+        """
+        if self._scheduler is not None:
+            reply = yield from self._request_adaptive(payload, size_bytes)
+            return reply
+        reply = yield from self._request_ordered(payload, size_bytes)
+        return reply
+
+    def _request_ordered(
+        self, payload: object, size_bytes: int
+    ) -> typing.Generator:
         """Read-request fan-out: primary, then each secondary, with
         policy-driven retry rounds.
 
@@ -475,6 +510,135 @@ class BindResolver:
                 raise last_error
         assert last_error is not None
         raise last_error
+
+    def _request_adaptive(
+        self, payload: object, size_bytes: int
+    ) -> typing.Generator:
+        """Replica-aware read: same retry-round structure as
+        :meth:`_request_ordered`, but each round is one
+        :meth:`_hedged_exchange` over the scheduler's plan instead of a
+        static walk of the replica list."""
+        policy = self.policy
+        rounds = policy.attempts if policy is not None else 1
+        timeout_ms = policy.call_timeout_ms if policy is not None else None
+        last_error: typing.Optional[Exception] = None
+        for round_index in range(rounds):
+            if round_index:
+                self.env.stats.counter(f"bind.{self.name}.retries").increment()
+                assert policy is not None
+                delay = policy.backoff_ms(
+                    round_index - 1,
+                    self.env.rng.stream(f"bind.backoff:{self.name}"),
+                )
+                if delay > 0:
+                    yield self.env.timeout(delay)
+            try:
+                reply = yield from self._hedged_exchange(
+                    payload, size_bytes, timeout_ms
+                )
+                return reply
+            except NetworkError as err:
+                last_error = err
+                if not is_transient(err):
+                    raise
+        assert last_error is not None
+        raise last_error
+
+    def _hedged_exchange(
+        self, payload: object, size_bytes: int, timeout_ms: typing.Optional[float]
+    ) -> typing.Generator:
+        """One round against the replica set, with hedging.
+
+        The scheduler's best replica is tried first.  If no answer has
+        arrived after the hedge delay (the policy quantile of recent
+        latencies), the same request is re-issued to the next replica in
+        the plan — first answer wins, the loser's reply is discarded
+        (its latency still feeds the scheduler).  A failed leg falls
+        through to the next unplanned replica immediately, exactly like
+        the static failover walk; the exchange fails only when every
+        planned replica has failed.
+        """
+        env = self.env
+        scheduler = self._scheduler
+        assert scheduler is not None
+        replica_policy = self.replica_policy
+        assert replica_policy is not None
+        queue = scheduler.plan()
+        result = env.event()
+        # The result may be failed with nobody parked on it (e.g. the
+        # last leg fails while the winner already returned) — that must
+        # never surface at the kernel.
+        result.defuse()
+        pending = {"outstanding": 0}
+
+        def launch(state: ReplicaState, hedge: bool) -> None:
+            pending["outstanding"] += 1
+            scheduler.record_start(state, hedge=hedge)
+            if hedge:
+                env.stats.counter(f"bind.{self.name}.hedges").increment()
+
+            def leg() -> typing.Generator:
+                start = env.now
+                try:
+                    reply = yield from self.transport.request(
+                        self.host,
+                        state.endpoint,
+                        payload,
+                        size_bytes,
+                        timeout_ms=timeout_ms,
+                    )
+                except NetworkError as err:
+                    pending["outstanding"] -= 1
+                    scheduler.record_failure(state, env.now - start)
+                    if result.triggered:
+                        return
+                    env.stats.counter(
+                        f"bind.{self.name}.failovers"
+                    ).increment()
+                    if queue:
+                        launch(queue.pop(0), hedge=False)
+                    elif pending["outstanding"] == 0:
+                        result.fail(err)
+                    return
+                except Exception as err:
+                    # Application-level failure (e.g. a RemoteCallError
+                    # from the server): the replica *answered*, so it is
+                    # healthy — but no other replica will answer better.
+                    pending["outstanding"] -= 1
+                    scheduler.record_success(state, env.now - start, won=False)
+                    if not result.triggered:
+                        result.fail(err)
+                    return
+                pending["outstanding"] -= 1
+                won = not result.triggered
+                scheduler.record_success(state, env.now - start, won=won)
+                if won:
+                    result.succeed(reply)
+
+            env.process(leg(), name=f"bind.{self.name}.leg:{state.label}")
+
+        launch(queue.pop(0), hedge=False)
+        hedges_left = (
+            replica_policy.max_hedges if replica_policy.hedging else 0
+        )
+        while not result.triggered:
+            delay = (
+                scheduler.hedge_delay_ms()
+                if hedges_left > 0 and queue
+                else None
+            )
+            if delay is None:
+                # Nothing left to hedge onto: just wait the result out
+                # (raises the failure if every leg failed).
+                reply = yield result
+                return reply
+            timer = env.timeout(delay)
+            yield env.any_of([result, timer])
+            if result.triggered:
+                break
+            hedges_left -= 1
+            launch(queue.pop(0), hedge=True)
+        return result.value
 
     # ------------------------------------------------------------------
     def lookup_batch(
@@ -654,16 +818,75 @@ class BindResolver:
             raise ZoneNotFound(f"zone transfer of {origin} refused/unknown")
         return reply.serial, list(reply.records)
 
+    def incremental_zone_transfer(
+        self, origin: typing.Union[str, DomainName], serial: int
+    ) -> typing.Generator:
+        """IXFR: fetch the zone's dynamic updates past ``serial``.
+
+        Returns ``(serial, full, deltas, records)``; ``full`` is true
+        when the primary's journal no longer covered ``serial`` and the
+        reply is a whole-zone snapshot in ``records`` instead.
+        """
+        origin = DomainName(origin)
+        request = IxfrRequest(origin, serial)
+        request_bytes, marshal_cost = HandcodedMarshaller(request.idl_type).encode(
+            request.to_idl()
+        )
+        yield from self.host.cpu.compute(marshal_cost)
+        reply = yield from self.transport.request(
+            self.host, self.server, request, len(request_bytes), timeout_ms=10_000
+        )
+        if not isinstance(reply, IxfrResponse):
+            raise BindError(f"unexpected reply {reply!r}")
+        if reply.status != STATUS_OK:
+            raise ZoneNotFound(f"incremental transfer of {origin} refused/unknown")
+        return reply.serial, bool(reply.full), list(reply.deltas), list(reply.records)
+
     def preload_cache(self, origin: typing.Union[str, DomainName]) -> typing.Generator:
         """Preload the cache from a zone transfer; returns records loaded.
 
         "The BIND zone transfer mechanism ... was employed to preload
         the caches."  Each transferred record set is installed under its
         (name, type) key with its own TTL.
+
+        With a :class:`~repro.resolution.ReplicaPolicy` whose ``ixfr``
+        is enabled, a *re*-preload asks the primary only for the updates
+        past the serial of the previous preload and installs just the
+        changed record sets (deletions invalidate their keys), so the
+        steady-state cost is proportional to churn rather than zone
+        size.  A truncated journal degrades to the full install.
         """
         if self.cache is None:
             raise ValueError("preload requires a cache")
-        serial, records = yield from self.zone_transfer(origin)
+        origin = DomainName(origin)
+        have = self._preload_serials.get(str(origin))
+        replica_policy = self.replica_policy
+        if replica_policy is not None and replica_policy.ixfr and have is not None:
+            serial, full, deltas, records = (
+                yield from self.incremental_zone_transfer(origin, have)
+            )
+            if not full:
+                loaded = yield from self._install_deltas(deltas)
+                self._preload_serials[str(origin)] = serial
+                self.env.stats.counter(
+                    f"bind.{self.name}.incremental_preloads"
+                ).increment()
+                return loaded
+            # Journal truncated: the reply already carries the snapshot.
+            self.env.stats.counter(
+                f"bind.{self.name}.preload_fallbacks"
+            ).increment()
+        else:
+            serial, records = yield from self.zone_transfer(origin)
+        yield from self._install_zone(records)
+        self._preload_serials[str(origin)] = serial
+        return len(records)
+
+    def _install_zone(
+        self, records: typing.List[ResourceRecord]
+    ) -> typing.Generator:
+        """Install a full transfer's records into the cache."""
+        assert self.cache is not None
         groups: typing.Dict[typing.Tuple[str, int], typing.List[ResourceRecord]] = {}
         for record in records:
             groups.setdefault((str(record.name), record.rtype.value), []).append(record)
@@ -680,4 +903,32 @@ class BindResolver:
                 self.cache.insert(key, payload_bytes, len(group), ttl)
             else:
                 self.cache.insert(key, list(group), len(group), ttl)
-        return len(records)
+
+    def _install_deltas(
+        self, deltas: typing.List[ZoneDelta]
+    ) -> typing.Generator:
+        """Install journal deltas into the cache; returns records loaded.
+
+        The install cost covers only the delta's records — this is what
+        makes an IXFR re-preload cheap at low churn.
+        """
+        assert self.cache is not None
+        loaded = sum(len(d.records) for d in deltas)
+        install_cost = self.calibration.xfer_install_per_record_ms * loaded
+        if install_cost > 0:
+            yield from self.host.cpu.compute(install_cost)
+        for delta in deltas:
+            key = (str(delta.name), delta.rtype.value)
+            if not delta.records:
+                self.cache.invalidate(key)
+                continue
+            group = list(delta.records)
+            ttl = min(r.ttl for r in group)
+            if self.cache.format is CacheFormat.MARSHALLED:
+                payload_bytes, _ = HandcodedMarshaller(QUERY_RESPONSE_IDL).encode(
+                    QueryResponse(STATUS_OK, group).to_idl()
+                )
+                self.cache.insert(key, payload_bytes, len(group), ttl)
+            else:
+                self.cache.insert(key, group, len(group), ttl)
+        return loaded

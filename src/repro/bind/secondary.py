@@ -13,6 +13,10 @@ A :class:`SecondaryBindServer` answers queries and zone transfers from
 its replica zones, refuses dynamic updates (only the primary accepts
 those), and runs a refresh process: every ``refresh_ms`` it probes the
 primary's SOA serial and pulls a full AXFR only when the serial moved.
+With a :class:`~repro.resolution.ReplicaPolicy` whose ``ixfr`` is on,
+the pull becomes an *incremental* transfer: only the journal entries
+past the replica's serial travel and are applied in place, with a clean
+AXFR fallback when the primary's journal has been truncated.
 """
 
 from __future__ import annotations
@@ -33,6 +37,7 @@ from repro.net.addresses import Endpoint
 from repro.net.errors import NetworkError
 from repro.net.host import Host
 from repro.net.transport import RemoteCallError, Transport
+from repro.resolution import ReplicaPolicy
 
 
 class SecondaryBindServer(BindServer):
@@ -48,6 +53,7 @@ class SecondaryBindServer(BindServer):
         lookup_cost_ms: typing.Optional[float] = None,
         calibration: Calibration = DEFAULT_CALIBRATION,
         name: str = "",
+        replica_policy: typing.Optional[ReplicaPolicy] = None,
     ):
         if refresh_ms <= 0:
             raise ValueError("refresh interval must be positive")
@@ -62,6 +68,8 @@ class SecondaryBindServer(BindServer):
         self.primary = primary
         self.transport = transport
         self.refresh_ms = refresh_ms
+        #: None keeps the full-AXFR refresh the prototype used
+        self.replica_policy = replica_policy
         self.replica_serials: typing.Dict[DomainName, int] = {
             zone.origin: 0 for zone in self.zones
         }
@@ -101,7 +109,13 @@ class SecondaryBindServer(BindServer):
         return pulled
 
     def _refresh_zone(self, zone: Zone) -> typing.Generator:
-        """SOA-serial probe, then AXFR only if the primary moved on."""
+        """SOA-serial probe, then a transfer only if the primary moved on.
+
+        The transfer is incremental (IXFR) when the replica policy asks
+        for it and the primary's journal still covers our serial;
+        otherwise — including every first synchronisation — it is a full
+        AXFR installed atomically as a fresh zone.
+        """
         request = SerialRequest(zone.origin)
         reply = yield from self.transport.request(
             self.host, self.primary, request, 48
@@ -111,11 +125,45 @@ class SecondaryBindServer(BindServer):
         if reply.serial <= self.replica_serials[zone.origin]:
             self.env.stats.counter(f"bind.{self.name}.refresh_skips").increment()
             return False
-        serial, records = yield from self._resolver.zone_transfer(zone.origin)
-        # Install the fresh copy atomically.
+        policy = self.replica_policy
+        if policy is not None and policy.ixfr:
+            serial, full, deltas, records = (
+                yield from self._resolver.incremental_zone_transfer(
+                    zone.origin, self.replica_serials[zone.origin]
+                )
+            )
+            if not full:
+                # Applying a delta pays the install cost only for the
+                # records that actually changed.
+                install_cost = self.calibration.xfer_install_per_record_ms * sum(
+                    len(d.records) for d in deltas
+                )
+                if install_cost > 0:
+                    yield from self.host.cpu.compute(install_cost)
+                for delta in deltas:
+                    zone.apply_delta(delta)
+                self.replica_serials[zone.origin] = serial
+                self.env.stats.counter(f"bind.{self.name}.ixfrs").increment()
+                self.env.stats.counter(f"bind.{self.name}.refreshes").increment()
+                self.env.trace.emit(
+                    "bind",
+                    f"{self.name}: incrementally refreshed {zone.origin} to "
+                    f"serial {serial} ({len(deltas)} deltas)",
+                )
+                return True
+            # Journal truncated: the reply already carries the snapshot.
+            self.env.stats.counter(f"bind.{self.name}.axfr_fallbacks").increment()
+        else:
+            serial, records = yield from self._resolver.zone_transfer(zone.origin)
+        # Install the fresh copy atomically.  The replica adopts the
+        # primary's serial but discards its (rebuilt, fabricated-serial)
+        # journal, so downstream IXFR against this replica falls back to
+        # AXFR until real deltas accumulate.
         fresh = Zone(zone.origin, default_ttl=zone.default_ttl)
         for record in records:
             fresh.add(record)
+        fresh.serial = serial
+        fresh.reset_journal()
         index = self.zones.index(zone)
         self.zones[index] = fresh
         self.replica_serials[zone.origin] = serial

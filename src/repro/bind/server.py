@@ -26,6 +26,8 @@ from repro.bind.messages import (
     STATUS_SERVFAIL,
     BatchQueryRequest,
     BatchQueryResponse,
+    IxfrRequest,
+    IxfrResponse,
     QueryRequest,
     QueryResponse,
     SerialRequest,
@@ -127,6 +129,8 @@ class BindServer(Service):
             yield from self._handle_update(request, responder)
         elif isinstance(request, XferRequest):
             yield from self._handle_xfer(request, responder)
+        elif isinstance(request, IxfrRequest):
+            yield from self._handle_ixfr(request, responder)
         elif isinstance(request, SerialRequest):
             yield from self._handle_serial(request, responder)
         else:
@@ -256,6 +260,47 @@ class BindServer(Service):
         reply, size, cost = self._encode_reply(
             XferResponse(STATUS_OK, zone.serial, records)
         )
+        yield from self.host.cpu.compute(cost)
+        responder(reply, size)
+
+    def _handle_ixfr(self, request: IxfrRequest, responder):
+        """Incremental zone transfer: stream only the journal entries
+        past the requester's serial.  When the journal no longer covers
+        the requested serial the reply degrades to a full AXFR-style
+        snapshot (``full=1``) in the same exchange, so the requester
+        never pays an extra round trip to discover truncation."""
+        self.env.stats.counter(f"bind.{self.name}.ixfrs").increment()
+        zone = self.zone_named(request.origin)
+        if not self.allow_zone_transfer or zone is None:
+            reply, size, cost = self._encode_reply(
+                IxfrResponse(
+                    STATUS_REFUSED if zone else STATUS_NXDOMAIN, 0, 0, [], []
+                )
+            )
+            yield from self.host.cpu.compute(cost)
+            responder(reply, size)
+            return
+        deltas = zone.delta_since(request.serial)
+        if deltas is None:
+            self.env.stats.counter(
+                f"bind.{self.name}.ixfr_fallbacks"
+            ).increment()
+            records = zone.all_records()
+            yield from self.host.cpu.compute(
+                self.calibration.xfer_setup_ms
+                + self.calibration.xfer_per_record_ms * len(records)
+            )
+            reply = IxfrResponse(STATUS_OK, zone.serial, 1, [], records)
+        else:
+            delta_records = sum(len(d.records) for d in deltas)
+            # Walking the journal costs setup plus the same per-record
+            # streaming charge as AXFR, over only the delta.
+            yield from self.host.cpu.compute(
+                self.calibration.xfer_setup_ms
+                + self.calibration.xfer_per_record_ms * delta_records
+            )
+            reply = IxfrResponse(STATUS_OK, zone.serial, 0, list(deltas), [])
+        reply, size, cost = self._encode_reply(reply)
         yield from self.host.cpu.compute(cost)
         responder(reply, size)
 

@@ -41,6 +41,7 @@ from repro.resolution import (
     DEFAULT_RESOLUTION_POLICY,
     CircuitBreakerRegistry,
     FastPathPolicy,
+    ReplicaPolicy,
     ResolutionPolicy,
     retrying,
 )
@@ -72,6 +73,7 @@ class HNS:
         calibration: Calibration = DEFAULT_CALIBRATION,
         policy: typing.Optional[ResolutionPolicy] = DEFAULT_RESOLUTION_POLICY,
         fast_path: typing.Optional[FastPathPolicy] = None,
+        replica_policy: typing.Optional[ReplicaPolicy] = None,
     ):
         self.metastore = metastore
         self.host = metastore.host
@@ -81,6 +83,15 @@ class HNS:
         #: configures the whole stack (None = paper-faithful behaviour)
         self.fast_path = (
             fast_path if fast_path is not None else metastore.fast_path
+        )
+        #: replica-aware read policy; the scheduling itself lives in the
+        #: metastore's resolver — this mirror (defaulting to the
+        #: metastore's) keeps the whole-stack configuration inspectable
+        #: from one place, like ``fast_path``
+        self.replica_policy = (
+            replica_policy
+            if replica_policy is not None
+            else metastore.replica_policy
         )
         #: fault-tolerance policy for FindNSM itself (host resolution
         #: retries, per-NSM circuit breaking); the meta lookups carry

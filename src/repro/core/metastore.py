@@ -47,6 +47,7 @@ from repro.bind.messages import STATUS_OK, BatchQuestion
 from repro.resolution import (
     DEFAULT_RESOLUTION_POLICY,
     FastPathPolicy,
+    ReplicaPolicy,
     ResolutionPolicy,
 )
 
@@ -190,6 +191,7 @@ class MetaStore:
         secondaries: typing.Sequence[Endpoint] = (),
         policy: typing.Optional[ResolutionPolicy] = DEFAULT_RESOLUTION_POLICY,
         fast_path: typing.Optional[FastPathPolicy] = None,
+        replica_policy: typing.Optional[ReplicaPolicy] = None,
     ):
         self.host = host
         self.env = host.env
@@ -201,6 +203,9 @@ class MetaStore:
         #: performance policy (coalescing, refresh-ahead, batching);
         #: None keeps the paper-faithful sequential behaviour
         self.fast_path = fast_path
+        #: replica-aware read policy (adaptive selection, hedging,
+        #: incremental transfer); None keeps static ordered failover
+        self.replica_policy = replica_policy
         self.cache = (
             cache
             if cache is not None
@@ -229,6 +234,7 @@ class MetaStore:
             secondaries=secondaries,
             policy=policy,
             fast_path=fast_path,
+            replica_policy=replica_policy,
         )
 
     # ------------------------------------------------------------------

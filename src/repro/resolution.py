@@ -189,6 +189,126 @@ class FastPathPolicy:
 DEFAULT_FAST_PATH_POLICY = FastPathPolicy()
 
 
+@dataclasses.dataclass(frozen=True)
+class ReplicaPolicy:
+    """Replica-aware meta reads: how a resolver *exploits* replication.
+
+    The paper replicates the meta store "for the usual reasons of
+    performance, availability, and scalability" but the prototype client
+    walks its replicas as a static ordered failover list: the primary is
+    tried first, every time, and a dead or slow replica is only
+    discovered by burning a full timeout against it.  This policy gates
+    the three mechanisms that make reads replica-aware:
+
+    - **adaptive replica selection** (``adaptive``): per-endpoint EWMA
+      latency and in-flight counters; the first replica tried is the
+      better of two sampled at random (power-of-two-choices), the rest
+      are ordered by score.  Endpoints whose per-replica circuit breaker
+      is open are skipped up front (``skip_open_breakers``) instead of
+      timed out in order.
+    - **hedged queries** (``hedge_quantile``): once a lookup has been
+      outstanding for the given quantile of the observed per-replica
+      latency distribution, the same question is re-issued to the
+      next-best replica; the first answer wins and the loser's result is
+      discarded.  Hedging composes with single-flight coalescing (only
+      the coalescing leader ever hedges) and with the
+      :class:`ResolutionPolicy` retry ladder (each retry round hedges
+      independently).
+    - **incremental zone transfer** (``ixfr``): secondaries and
+      cache preloads request only the dynamic updates past their SOA
+      serial from the primary's bounded per-zone journal, falling back
+      to a full AXFR when the journal has been truncated.  Steady-state
+      refresh cost is then proportional to churn, not zone size.
+
+    ``None`` anywhere a :class:`ReplicaPolicy` is accepted means the
+    same as :meth:`disabled`: the prototype's static
+    primary-then-secondaries failover and full-transfer refresh.
+    """
+
+    #: EWMA/in-flight scoring with power-of-two-choices selection;
+    #: False preserves the static ``[primary] + secondaries`` order
+    adaptive: bool = True
+    #: weight of the newest latency sample in the per-endpoint EWMA
+    ewma_alpha: float = 0.3
+    #: score penalty per outstanding request on an endpoint, so load
+    #: spreads even while latency estimates are equal
+    inflight_penalty_ms: float = 25.0
+    #: hedge once a lookup is outstanding past this quantile of the
+    #: recent successful-latency distribution (0 disables hedging)
+    hedge_quantile: float = 0.95
+    #: successful samples required before hedging arms
+    hedge_min_samples: int = 8
+    #: clamp on the computed hedge delay
+    hedge_min_delay_ms: float = 1.0
+    hedge_max_delay_ms: float = 1_000.0
+    #: extra replicas a single exchange may hedge onto
+    max_hedges: int = 1
+    #: skip endpoints whose per-replica breaker is open during selection
+    skip_open_breakers: bool = True
+    #: consecutive failures that trip a *per-replica* breaker (0
+    #: disables the per-replica breakers entirely)
+    breaker_threshold: int = 3
+    #: how long a tripped replica stays skipped before one probe
+    breaker_reset_ms: float = 10_000.0
+    #: request serial-delta zone transfers (IXFR) for secondary refresh
+    #: and cache re-preload, with automatic AXFR fallback
+    ixfr: bool = True
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.ewma_alpha <= 1.0:
+            raise ValueError("EWMA alpha must be in (0, 1]")
+        if self.inflight_penalty_ms < 0:
+            raise ValueError("in-flight penalty must be >= 0")
+        if not 0.0 <= self.hedge_quantile < 1.0:
+            raise ValueError("hedge quantile must be in [0, 1)")
+        if self.hedge_min_samples < 1:
+            raise ValueError("hedge min samples must be >= 1")
+        if self.hedge_min_delay_ms < 0 or self.hedge_max_delay_ms < 0:
+            raise ValueError("hedge delays must be >= 0")
+        if self.hedge_min_delay_ms > self.hedge_max_delay_ms:
+            raise ValueError("hedge min delay must be <= max delay")
+        if self.max_hedges < 0:
+            raise ValueError("max hedges must be >= 0")
+        if self.breaker_threshold < 0:
+            raise ValueError("breaker threshold must be >= 0")
+        if self.breaker_reset_ms < 0:
+            raise ValueError("breaker reset delay must be >= 0")
+
+    # ------------------------------------------------------------------
+    @property
+    def hedging(self) -> bool:
+        """Whether hedged queries are enabled at all."""
+        return self.hedge_quantile > 0.0 and self.max_hedges > 0
+
+    @property
+    def scheduling(self) -> bool:
+        """Whether the replica scheduler is in play on the read path.
+
+        When False (and ``ixfr`` aside), the resolver runs the exact
+        static-failover code path the prototype uses.
+        """
+        return self.adaptive or self.hedging or self.skip_open_breakers
+
+    @classmethod
+    def disabled(cls) -> "ReplicaPolicy":
+        """The prototype behaviour: static primary-then-secondaries
+        failover, no hedging, no per-replica breakers, full-transfer
+        refresh.  The ablation baseline."""
+        return cls(
+            adaptive=False,
+            hedge_quantile=0.0,
+            max_hedges=0,
+            skip_open_breakers=False,
+            breaker_threshold=0,
+            ixfr=False,
+        )
+
+
+#: Everything on: what the replica-scheduling benchmarks opt into.  The
+#: stack default stays ``None`` (off) so existing numbers hold.
+DEFAULT_REPLICA_POLICY = ReplicaPolicy()
+
+
 def retrying(
     env: Environment,
     policy: typing.Optional[ResolutionPolicy],

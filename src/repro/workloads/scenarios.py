@@ -63,6 +63,7 @@ from repro.net.host import Host
 from repro.resolution import (
     DEFAULT_RESOLUTION_POLICY,
     FastPathPolicy,
+    ReplicaPolicy,
     ResolutionPolicy,
 )
 from repro.sim import ConstantLatency, Environment
@@ -213,6 +214,8 @@ class HcsTestbed:
         host: Host,
         policy: typing.Optional[ResolutionPolicy] = DEFAULT_RESOLUTION_POLICY,
         fast_path: typing.Optional[FastPathPolicy] = None,
+        replica_policy: typing.Optional[ReplicaPolicy] = None,
+        secondaries: typing.Sequence[Endpoint] = (),
     ) -> MetaStore:
         return MetaStore(
             host,
@@ -221,6 +224,8 @@ class HcsTestbed:
             calibration=self.calibration,
             policy=policy,
             fast_path=fast_path,
+            replica_policy=replica_policy,
+            secondaries=secondaries,
         )
 
     def make_hns(
@@ -228,10 +233,18 @@ class HcsTestbed:
         host: Host,
         policy: typing.Optional[ResolutionPolicy] = DEFAULT_RESOLUTION_POLICY,
         fast_path: typing.Optional[FastPathPolicy] = None,
+        replica_policy: typing.Optional[ReplicaPolicy] = None,
+        secondaries: typing.Sequence[Endpoint] = (),
     ) -> HNS:
         """An HNS library instance with its statically linked NSMs."""
         hns = HNS(
-            self.make_metastore(host, policy=policy, fast_path=fast_path),
+            self.make_metastore(
+                host,
+                policy=policy,
+                fast_path=fast_path,
+                replica_policy=replica_policy,
+                secondaries=secondaries,
+            ),
             calibration=self.calibration,
             policy=policy,
         )
@@ -431,6 +444,7 @@ def build_stack(
     name_service: str = BIND_NS,
     policy: typing.Optional[ResolutionPolicy] = DEFAULT_RESOLUTION_POLICY,
     fast_path: typing.Optional[FastPathPolicy] = None,
+    replica_policy: typing.Optional[ReplicaPolicy] = None,
 ) -> ColocationStack:
     """Wire the client side for one Table 3.1 arrangement.
 
@@ -441,6 +455,9 @@ def build_stack(
     likewise configures the performance layer (coalescing,
     refresh-ahead, batched meta lookups) of the HNS in the stack; the
     default ``None`` keeps the paper-faithful sequential behaviour.
+    ``replica_policy`` configures replica-aware meta reads (adaptive
+    selection, hedging, incremental transfer); ``None`` keeps the
+    static primary-then-secondaries failover.
     """
     env = testbed.env
     client = testbed.client
@@ -453,7 +470,7 @@ def build_stack(
         return testbed.make_ch_binding_nsm(host)
 
     if arrangement is Arrangement.ALL_LOCAL:
-        hns = testbed.make_hns(client, policy=policy, fast_path=fast_path)
+        hns = testbed.make_hns(client, policy=policy, fast_path=fast_path, replica_policy=replica_policy)
         nsm = binding_nsm_for(client)
         hns.link_local_nsm(nsm)
         stub = NsmStub(client, runtime, calibration=cal)
@@ -465,7 +482,7 @@ def build_stack(
 
     if arrangement is Arrangement.AGENT:
         agent_host = testbed.agent_host
-        hns = testbed.make_hns(agent_host, policy=policy, fast_path=fast_path)
+        hns = testbed.make_hns(agent_host, policy=policy, fast_path=fast_path, replica_policy=replica_policy)
         nsm = binding_nsm_for(agent_host)
         hns.link_local_nsm(nsm)
         agent_stub = NsmStub(agent_host, calibration=cal)
@@ -484,7 +501,7 @@ def build_stack(
         )
 
     if arrangement is Arrangement.REMOTE_HNS:
-        hns = testbed.make_hns(testbed.hns_host, policy=policy, fast_path=fast_path)
+        hns = testbed.make_hns(testbed.hns_host, policy=policy, fast_path=fast_path, replica_policy=replica_policy)
         server = HrpcServer(testbed.hns_host, name="hns-service")
         serve_hns(hns, server)
         server.listen(HNS_PORT)
@@ -506,7 +523,7 @@ def build_stack(
         )
 
     if arrangement is Arrangement.REMOTE_NSMS:
-        hns = testbed.make_hns(client, policy=policy, fast_path=fast_path)
+        hns = testbed.make_hns(client, policy=policy, fast_path=fast_path, replica_policy=replica_policy)
         nsm = binding_nsm_for(testbed.nsm_host)
         server = HrpcServer(testbed.nsm_host, name="nsm-service")
         serve_nsm(server, nsm)
@@ -520,7 +537,7 @@ def build_stack(
         )
 
     if arrangement is Arrangement.ALL_REMOTE:
-        hns = testbed.make_hns(testbed.hns_host, policy=policy, fast_path=fast_path)
+        hns = testbed.make_hns(testbed.hns_host, policy=policy, fast_path=fast_path, replica_policy=replica_policy)
         hns_server = HrpcServer(testbed.hns_host, name="hns-service")
         serve_hns(hns, hns_server)
         hns_server.listen(HNS_PORT)
