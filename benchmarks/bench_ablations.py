@@ -17,7 +17,7 @@ import pytest
 
 from repro.core import Arrangement, HNSName
 from repro.harness import DEFAULT_CALIBRATION
-from repro.workloads import QueryWorkload, ZipfDistribution, build_stack, build_testbed
+from repro.workloads import QueryWorkload, build_stack, build_testbed
 
 from conftest import FIJI, run, timed
 

@@ -20,7 +20,7 @@ from repro.hrpc import HRPCBinding, HrpcRuntime, HrpcServer
 from repro.workloads import build_testbed
 from repro.workloads.scenarios import CREDENTIALS
 
-from conftest import FIJI, DLION, timed
+from conftest import FIJI, timed
 
 
 def measure_findnsm(seed=41):

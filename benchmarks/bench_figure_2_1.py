@@ -10,7 +10,7 @@ aware of which name service it is calling."
 
 import pytest
 
-from repro.core import Arrangement, HNSName
+from repro.core import Arrangement
 from repro.workloads import build_stack, build_testbed
 
 from conftest import DLION, FIJI, run

@@ -9,7 +9,7 @@ both designs and measure the makespan.
 
 import pytest
 
-from repro.bind import BindResolver, BindServer, ResourceRecord, RRType, Zone
+from repro.bind import BindResolver, BindServer, ResourceRecord, Zone
 from repro.net import DatagramTransport, Internetwork
 from repro.sim import ConstantLatency, Environment
 from repro.harness.calibration import DEFAULT_CALIBRATION

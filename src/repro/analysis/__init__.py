@@ -1,0 +1,73 @@
+"""hnslint: repo-specific static analysis + simulation sanitizers.
+
+Two halves, one gate:
+
+- **Static** (:mod:`~repro.analysis.core`, ``rules_sim``, ``rules_hns``):
+  an AST lint pass encoding this repository's invariants — SIM001 no
+  wall-clock/ambient randomness, SIM002 no blocking calls in process
+  generators, SIM003 no stale reads across yields, HNS001 TTL-tagged
+  cache inserts, HNS002 IDL-registered wire messages, HNS003 dotted
+  stats names.  Inline ``# hnslint: disable=CODE`` comments and the
+  reviewed ``hnslint-baseline.toml`` carry the intentional exceptions.
+
+- **Runtime** (:mod:`~repro.analysis.sanitizer`,
+  :mod:`~repro.analysis.determinism`): an interleaving sanitizer that
+  reconstructs happens-before between process segments and flags
+  unordered conflicting accesses, plus a determinism checker that runs
+  every registered scenario twice per seed and diffs trace digests.
+
+Run it as ``python -m repro.analysis src/repro`` (or
+``python -m repro.cli lint``); ``--format json`` emits the stable
+machine-readable report CI diffs across revisions.
+"""
+
+from repro.analysis.baseline import Baseline, BaselineError, Suppression
+from repro.analysis.core import (
+    Finding,
+    LintResult,
+    ModuleSource,
+    Rule,
+    default_rules,
+    lint_paths,
+    lint_source,
+)
+from repro.analysis.determinism import ScenarioCheck, check_all, check_scenario
+from repro.analysis.report import render_json, render_text
+from repro.analysis.sanitizer import (
+    Access,
+    InterleavingHazard,
+    InterleavingSanitizer,
+    SegmentInfo,
+    Watched,
+)
+
+__all__ = [
+    "Access",
+    "Baseline",
+    "BaselineError",
+    "Finding",
+    "InterleavingHazard",
+    "InterleavingSanitizer",
+    "LintResult",
+    "ModuleSource",
+    "Rule",
+    "ScenarioCheck",
+    "SegmentInfo",
+    "Suppression",
+    "Watched",
+    "check_all",
+    "check_scenario",
+    "default_rules",
+    "lint_paths",
+    "lint_source",
+    "main",
+    "render_json",
+    "render_text",
+]
+
+
+def main(argv=None):
+    """Console entry point; see :mod:`repro.analysis.__main__`."""
+    from repro.analysis.__main__ import run
+
+    return run(argv)

@@ -1,0 +1,115 @@
+"""``python -m repro.analysis`` — the hnslint command line.
+
+Exit status 0 means every invariant held: no unsuppressed findings, no
+parse errors, and (with ``--determinism``) identical same-seed digests
+for every checked scenario.  Anything else exits 1, which is what the
+CI ``lint`` and ``determinism`` jobs key off.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import typing
+
+from repro.analysis.baseline import BASELINE_FILENAME, Baseline
+from repro.analysis.core import LintResult, default_rules, lint_paths
+from repro.analysis.report import render_json, render_text
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The hnslint argument parser (exposed for the CLI passthrough)."""
+    parser = argparse.ArgumentParser(
+        prog="repro.analysis",
+        description=(
+            "hnslint: repo-specific static analysis and simulation "
+            "determinism checks"
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: src/repro unless "
+        "--determinism is the only check requested)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=["text", "json"],
+        default="text",
+        help="report format (json is stable and diffable)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        help=f"baseline file (default: ./{BASELINE_FILENAME} if present)",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore any baseline file",
+    )
+    parser.add_argument(
+        "--determinism",
+        action="store_true",
+        help="double-run registered scenarios and diff trace digests",
+    )
+    parser.add_argument(
+        "--scenario",
+        action="append",
+        default=None,
+        metavar="NAME",
+        help="restrict --determinism to NAME (repeatable)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, help="seed for --determinism runs"
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print every rule with its rationale and exit",
+    )
+    return parser
+
+
+def run(argv: typing.Optional[typing.Sequence[str]] = None) -> int:
+    """Lint and/or determinism-check; return the process exit status."""
+    args = build_parser().parse_args(argv)
+
+    if args.list_rules:
+        for rule in default_rules():
+            print(f"{rule.code} ({rule.name})")
+            print(f"    {rule.rationale}")
+        return 0
+
+    lint_requested = bool(args.paths) or not args.determinism
+    paths = list(args.paths)
+    if lint_requested and not paths:
+        paths = ["src/repro"]
+
+    result = LintResult(findings=[])
+    if lint_requested:
+        baseline = None
+        if not args.no_baseline:
+            if args.baseline is not None:
+                baseline = Baseline.load(args.baseline)
+            else:
+                baseline = Baseline.discover()
+        result = lint_paths(paths, baseline=baseline)
+
+    determinism = None
+    if args.determinism:
+        from repro.analysis.determinism import check_all
+
+        determinism = check_all(names=args.scenario, seed=args.seed)
+
+    if args.format == "json":
+        print(render_json(result, determinism))
+    else:
+        print(render_text(result, determinism))
+
+    ok = result.ok and (determinism is None or all(c.ok for c in determinism))
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(run())

@@ -1,0 +1,171 @@
+"""The checked-in suppression baseline (``hnslint-baseline.toml``).
+
+Intentional exceptions to a rule live in one reviewed file, each with a
+one-line justification — the lint equivalent of the benchmark JSONs:
+the diff of this file *is* the review surface for new exceptions.
+
+Entries match findings structurally, not by line number, so ordinary
+edits to a file do not invalidate its baseline:
+
+.. code-block:: toml
+
+    [[suppression]]
+    rule = "SIM003"
+    path = "src/repro/bind/resolver.py"
+    contains = "self.cache.probe(key)"
+    justification = "entry is captured by value; eviction cannot mutate it"
+
+``path`` is a suffix match on the finding's path, ``contains`` (optional)
+a substring of the flagged source line.  Parsing uses :mod:`tomllib`
+where available (Python 3.11+) and falls back to a minimal reader for
+the subset this file needs, so 3.9 CI runs do not need a TOML package.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import pathlib
+import typing
+
+from repro.analysis.core import Finding
+
+try:  # Python 3.11+
+    import tomllib as _toml
+except ModuleNotFoundError:  # pragma: no cover - exercised on 3.9/3.10
+    _toml = None
+
+#: Default baseline filename, discovered in the current directory.
+BASELINE_FILENAME = "hnslint-baseline.toml"
+
+
+class BaselineError(ValueError):
+    """Malformed baseline file."""
+
+
+@dataclasses.dataclass(frozen=True)
+class Suppression:
+    """One reviewed exception."""
+
+    rule: str
+    path: str
+    justification: str
+    contains: str = ""
+
+    def matches(self, finding: Finding) -> bool:
+        if finding.rule != self.rule:
+            return False
+        if not finding.path.replace("\\", "/").endswith(self.path):
+            return False
+        if self.contains and self.contains not in finding.snippet:
+            return False
+        return True
+
+
+class Baseline:
+    """The full set of reviewed suppressions."""
+
+    def __init__(self, suppressions: typing.Sequence[Suppression] = ()):
+        self.suppressions = list(suppressions)
+
+    def matches(self, finding: Finding) -> bool:
+        return any(s.matches(finding) for s in self.suppressions)
+
+    def __len__(self) -> int:
+        return len(self.suppressions)
+
+    @classmethod
+    def load(cls, path: typing.Union[str, pathlib.Path]) -> "Baseline":
+        text = pathlib.Path(path).read_text(encoding="utf-8")
+        return cls.loads(text)
+
+    @classmethod
+    def loads(cls, text: str) -> "Baseline":
+        if _toml is not None:
+            data = _toml.loads(text)
+        else:
+            data = _parse_toml_subset(text)
+        raw = data.get("suppression", [])
+        if not isinstance(raw, list):
+            raise BaselineError("[[suppression]] must be an array of tables")
+        suppressions = []
+        for index, entry in enumerate(raw):
+            try:
+                suppression = Suppression(
+                    rule=str(entry["rule"]),
+                    path=str(entry["path"]),
+                    justification=str(entry["justification"]),
+                    contains=str(entry.get("contains", "")),
+                )
+            except KeyError as err:
+                raise BaselineError(
+                    f"suppression #{index + 1} is missing key {err.args[0]!r} "
+                    "(rule, path, and justification are required)"
+                ) from None
+            if not suppression.justification.strip():
+                raise BaselineError(
+                    f"suppression #{index + 1} has an empty justification"
+                )
+            suppressions.append(suppression)
+        return cls(suppressions)
+
+    @classmethod
+    def discover(
+        cls, start: typing.Union[str, pathlib.Path] = "."
+    ) -> typing.Optional["Baseline"]:
+        """Load ``hnslint-baseline.toml`` from ``start`` if present."""
+        candidate = pathlib.Path(start) / BASELINE_FILENAME
+        if candidate.is_file():
+            return cls.load(candidate)
+        return None
+
+
+def _parse_toml_subset(text: str) -> typing.Dict[str, typing.List[dict]]:
+    """Parse the ``[[suppression]]`` / ``key = "value"`` subset of TOML.
+
+    Only what the baseline format uses: arrays of tables and
+    basic-string values.  Anything else is a :class:`BaselineError`.
+    """
+    tables: typing.Dict[str, typing.List[dict]] = {}
+    current: typing.Optional[dict] = None
+    for raw_line in text.splitlines():
+        line = raw_line.strip()
+        if not line or line.startswith("#"):
+            continue
+        if line.startswith("[[") and line.endswith("]]"):
+            name = line[2:-2].strip()
+            current = {}
+            tables.setdefault(name, []).append(current)
+            continue
+        if "=" in line and current is not None:
+            key, _, value = line.partition("=")
+            key = key.strip()
+            value = value.strip()
+            comment = _find_comment(value)
+            if comment != -1:
+                value = value[:comment].rstrip()
+            if not (len(value) >= 2 and value[0] == '"' and value[-1] == '"'):
+                raise BaselineError(
+                    f"unsupported value for {key!r}: {value!r} "
+                    "(only basic strings are supported)"
+                )
+            current[key] = value[1:-1].replace('\\"', '"').replace("\\\\", "\\")
+            continue
+        raise BaselineError(f"unsupported baseline syntax: {line!r}")
+    return tables
+
+
+def _find_comment(value: str) -> int:
+    """Index of a ``#`` comment outside the quoted string, or -1."""
+    in_string = False
+    escaped = False
+    for index, char in enumerate(value):
+        if escaped:
+            escaped = False
+            continue
+        if char == "\\":
+            escaped = True
+        elif char == '"':
+            in_string = not in_string
+        elif char == "#" and not in_string:
+            return index
+    return -1

@@ -1,0 +1,318 @@
+"""The hnslint core: findings, rules, suppressions, and the runner.
+
+hnslint is a repo-specific static-analysis pass.  General-purpose
+linters cannot know that wall-clock reads corrupt the deterministic
+event kernel, that cache inserts must carry a TTL, or that wire-message
+dataclasses need an IDL registration — those are *invariants of this
+reproduction*, and this module gives them teeth.
+
+The machinery is deliberately small: a rule is an object with a
+``code`` and a ``check(module)`` method yielding :class:`Finding`
+objects; a :class:`ModuleSource` bundles one parsed file; the runner
+walks paths, applies inline suppressions (``# hnslint: disable=CODE``)
+and the checked-in baseline, and hands the surviving findings to a
+reporter (:mod:`repro.analysis.report`).
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+import pathlib
+import re
+import typing
+
+#: Inline suppression syntax: ``# hnslint: disable`` silences every rule
+#: on that line; ``# hnslint: disable=SIM001,HNS003`` silences only the
+#: listed codes.
+_SUPPRESS_RE = re.compile(
+    r"#\s*hnslint:\s*disable(?:=(?P<codes>[A-Z0-9, ]+))?"
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+    snippet: str = ""
+
+    def to_json(self) -> typing.Dict[str, object]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "snippet": self.snippet,
+        }
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+
+class ModuleSource:
+    """One parsed Python file, shared by every rule that inspects it."""
+
+    def __init__(self, path: str, text: str):
+        self.path = path
+        self.text = text
+        self.lines = text.splitlines()
+        self.tree = ast.parse(text, filename=path)
+
+    def line_at(self, lineno: int) -> str:
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1].strip()
+        return ""
+
+    def finding(self, rule: "Rule", node: ast.AST, message: str) -> Finding:
+        lineno = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0)
+        return Finding(
+            rule=rule.code,
+            path=self.path,
+            line=lineno,
+            col=col + 1,
+            message=message,
+            snippet=self.line_at(lineno),
+        )
+
+    def suppressed_codes(self, lineno: int) -> typing.Optional[typing.Set[str]]:
+        """Codes silenced on ``lineno``; empty set means "all codes"."""
+        match = _SUPPRESS_RE.search(self.line_at(lineno) or "")
+        if match is None and 1 <= lineno <= len(self.lines):
+            # Also honour a suppression comment on its own line directly
+            # above the finding.
+            match = _SUPPRESS_RE.search(self.lines[lineno - 2]) if lineno >= 2 else None
+            if match is not None and not self.lines[lineno - 2].strip().startswith("#"):
+                match = None
+        if match is None:
+            return None
+        codes = match.group("codes")
+        if not codes:
+            return set()
+        return {code.strip() for code in codes.split(",") if code.strip()}
+
+
+class Rule:
+    """Base class: one named invariant checked against a module's AST."""
+
+    code: str = "XXX000"
+    name: str = ""
+    rationale: str = ""
+
+    def check(self, module: ModuleSource) -> typing.Iterator[Finding]:
+        raise NotImplementedError
+
+
+# ----------------------------------------------------------------------
+# Shared AST helpers
+# ----------------------------------------------------------------------
+def attribute_chain(node: ast.AST) -> typing.Optional[typing.List[str]]:
+    """``a.b.c`` -> ``["a", "b", "c"]``; None if not a plain chain."""
+    parts: typing.List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        parts.reverse()
+        return parts
+    return None
+
+
+def is_generator_function(
+    node: typing.Union[ast.FunctionDef, ast.AsyncFunctionDef]
+) -> bool:
+    """Does ``node``'s own body yield (ignoring nested functions)?"""
+    for child in _walk_own_body(node):
+        if isinstance(child, (ast.Yield, ast.YieldFrom)):
+            return True
+    return False
+
+
+def _walk_own_body(
+    func: typing.Union[ast.FunctionDef, ast.AsyncFunctionDef]
+) -> typing.Iterator[ast.AST]:
+    """Walk a function's body without descending into nested functions."""
+    stack: typing.List[ast.AST] = list(func.body)
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def iter_functions(
+    tree: ast.AST,
+) -> typing.Iterator[typing.Union[ast.FunctionDef, ast.AsyncFunctionDef]]:
+    """Every function definition in ``tree``, including nested ones."""
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+def iter_generator_functions(
+    tree: ast.AST,
+) -> typing.Iterator[typing.Union[ast.FunctionDef, ast.AsyncFunctionDef]]:
+    """Every generator function in ``tree`` — a simulated process body."""
+    for func in iter_functions(tree):
+        if is_generator_function(func):
+            yield func
+
+
+class ImportMap:
+    """Resolves names in a module back to the stdlib modules they alias.
+
+    Tracks ``import time``, ``import time as t``, and
+    ``from time import sleep`` so rules can recognise calls through any
+    spelling.
+    """
+
+    def __init__(self, tree: ast.AST):
+        #: local alias -> module name ("t" -> "time")
+        self.module_aliases: typing.Dict[str, str] = {}
+        #: local name -> (module, attr) ("sleep" -> ("time", "sleep"))
+        self.from_imports: typing.Dict[str, typing.Tuple[str, str]] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    self.module_aliases[alias.asname or alias.name.split(".")[0]] = (
+                        alias.name
+                    )
+            elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+                for alias in node.names:
+                    self.from_imports[alias.asname or alias.name] = (
+                        node.module,
+                        alias.name,
+                    )
+
+    def resolve_call(
+        self, func: ast.AST
+    ) -> typing.Optional[typing.Tuple[str, str]]:
+        """``(module, attr)`` for a call target, if statically known.
+
+        ``time.sleep(...)`` -> ("time", "sleep"); a bare ``sleep(...)``
+        imported via ``from time import sleep`` resolves the same way.
+        """
+        if isinstance(func, ast.Attribute):
+            chain = attribute_chain(func)
+            if chain is None or len(chain) < 2:
+                return None
+            module = self.module_aliases.get(chain[0])
+            if module is not None:
+                return module, ".".join(chain[1:])
+            # ``from datetime import datetime; datetime.now()``
+            origin = self.from_imports.get(chain[0])
+            if origin is not None:
+                return origin[0], ".".join([origin[1], *chain[1:]])
+            return None
+        if isinstance(func, ast.Name):
+            return self.from_imports.get(func.id)
+        return None
+
+
+# ----------------------------------------------------------------------
+# The runner
+# ----------------------------------------------------------------------
+@dataclasses.dataclass
+class LintResult:
+    """Outcome of one lint run."""
+
+    findings: typing.List[Finding]
+    files_scanned: int = 0
+    suppressed: int = 0
+    baselined: int = 0
+    parse_errors: typing.List[str] = dataclasses.field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings and not self.parse_errors
+
+    def counts_by_rule(self) -> typing.Dict[str, int]:
+        counts: typing.Dict[str, int] = {}
+        for finding in self.findings:
+            counts[finding.rule] = counts.get(finding.rule, 0) + 1
+        return dict(sorted(counts.items()))
+
+
+def default_rules() -> typing.List[Rule]:
+    """One instance of every registered rule, in code order."""
+    from repro.analysis.rules_hns import HNS_RULES
+    from repro.analysis.rules_sim import SIM_RULES
+
+    return [cls() for cls in (*SIM_RULES, *HNS_RULES)]
+
+
+def lint_source(
+    text: str,
+    path: str = "<string>",
+    rules: typing.Optional[typing.Sequence[Rule]] = None,
+) -> typing.List[Finding]:
+    """Lint one source string; inline suppressions apply, baseline doesn't."""
+    module = ModuleSource(path, text)
+    active = list(rules) if rules is not None else default_rules()
+    findings: typing.List[Finding] = []
+    for rule in active:
+        for finding in rule.check(module):
+            codes = module.suppressed_codes(finding.line)
+            if codes is not None and (not codes or finding.rule in codes):
+                continue
+            findings.append(finding)
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return findings
+
+
+def iter_python_files(
+    paths: typing.Sequence[typing.Union[str, pathlib.Path]]
+) -> typing.Iterator[pathlib.Path]:
+    """Expand files/directories into the ``.py`` files under them."""
+    for raw in paths:
+        path = pathlib.Path(raw)
+        if path.is_dir():
+            yield from sorted(path.rglob("*.py"))
+        elif path.suffix == ".py":
+            yield path
+
+
+def lint_paths(
+    paths: typing.Sequence[typing.Union[str, pathlib.Path]],
+    rules: typing.Optional[typing.Sequence[Rule]] = None,
+    baseline: typing.Optional["Baseline"] = None,
+) -> LintResult:
+    """Lint every ``.py`` file under ``paths``.
+
+    Inline suppressions are counted in ``suppressed``; findings matched
+    by the checked-in baseline are counted in ``baselined``.  Anything
+    left in ``findings`` should fail CI.
+    """
+    active = list(rules) if rules is not None else default_rules()
+    result = LintResult(findings=[])
+    for path in iter_python_files(paths):
+        try:
+            module = ModuleSource(str(path), path.read_text(encoding="utf-8"))
+        except (SyntaxError, UnicodeDecodeError) as err:
+            result.parse_errors.append(f"{path}: {err}")
+            continue
+        result.files_scanned += 1
+        for rule in active:
+            for finding in rule.check(module):
+                codes = module.suppressed_codes(finding.line)
+                if codes is not None and (not codes or finding.rule in codes):
+                    result.suppressed += 1
+                    continue
+                if baseline is not None and baseline.matches(finding):
+                    result.baselined += 1
+                    continue
+                result.findings.append(finding)
+    result.findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return result
+
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.analysis.baseline import Baseline

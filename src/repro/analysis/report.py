@@ -1,0 +1,92 @@
+"""Reporters: human-readable text and machine-readable JSON.
+
+The JSON format is versioned and stable so future PRs can diff rule
+counts across revisions the way ``BENCH_*.json`` diffs latency — the
+lint equivalent of a benchmark trajectory.
+"""
+
+from __future__ import annotations
+
+import json
+import typing
+
+from repro.analysis.core import LintResult
+
+#: Bumped whenever a field changes meaning; additions are backwards
+#: compatible and do not bump it.
+JSON_FORMAT_VERSION = 1
+
+
+def render_text(
+    result: LintResult,
+    determinism: typing.Optional[typing.Sequence["ScenarioCheck"]] = None,
+) -> str:
+    """The human-facing report: one line per finding plus a summary."""
+    lines: typing.List[str] = []
+    for error in result.parse_errors:
+        lines.append(f"parse error: {error}")
+    for finding in result.findings:
+        lines.append(str(finding))
+        if finding.snippet:
+            lines.append(f"    {finding.snippet}")
+    if determinism is not None:
+        for check in determinism:
+            status = "ok" if check.ok else "NONDETERMINISTIC"
+            lines.append(
+                f"determinism {check.scenario}: {status} "
+                f"(seed {check.seed}, {check.events_a} trace records)"
+            )
+            if not check.ok and check.first_divergence:
+                lines.append(f"    first divergence: {check.first_divergence}")
+    lines.append(_summary_line(result, determinism))
+    return "\n".join(lines)
+
+
+def _summary_line(
+    result: LintResult,
+    determinism: typing.Optional[typing.Sequence["ScenarioCheck"]],
+) -> str:
+    counts = result.counts_by_rule()
+    by_rule = (
+        " (" + ", ".join(f"{rule}: {n}" for rule, n in counts.items()) + ")"
+        if counts
+        else ""
+    )
+    parts = [
+        f"{result.files_scanned} files scanned",
+        f"{len(result.findings)} findings{by_rule}",
+        f"{result.suppressed} suppressed inline",
+        f"{result.baselined} baselined",
+    ]
+    if determinism is not None:
+        failed = sum(1 for check in determinism if not check.ok)
+        parts.append(
+            f"{len(determinism)} scenarios determinism-checked, {failed} failed"
+        )
+    return "hnslint: " + ", ".join(parts)
+
+
+def render_json(
+    result: LintResult,
+    determinism: typing.Optional[typing.Sequence["ScenarioCheck"]] = None,
+) -> str:
+    """The stable machine-readable report."""
+    payload: typing.Dict[str, object] = {
+        "version": JSON_FORMAT_VERSION,
+        "tool": "hnslint",
+        "files_scanned": result.files_scanned,
+        "findings": [finding.to_json() for finding in result.findings],
+        "counts": result.counts_by_rule(),
+        "suppressed": result.suppressed,
+        "baselined": result.baselined,
+        "parse_errors": list(result.parse_errors),
+        "ok": result.ok,
+    }
+    if determinism is not None:
+        payload["determinism"] = [check.to_json() for check in determinism]
+        payload["ok"] = bool(payload["ok"]) and all(c.ok for c in determinism)
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.analysis.determinism import ScenarioCheck

@@ -175,7 +175,22 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_list = sub.add_parser("list", help="browse the registered federation")
     p_list.set_defaults(func=cmd_list)
+
+    p_lint = sub.add_parser(
+        "lint",
+        help="run hnslint (same as python -m repro.analysis)",
+        add_help=False,
+    )
+    p_lint.add_argument("lint_args", nargs=argparse.REMAINDER)
+    p_lint.set_defaults(func=cmd_lint)
     return parser
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    """``lint``: pass everything through to :mod:`repro.analysis`."""
+    from repro.analysis import main as analysis_main
+
+    return analysis_main(args.lint_args)
 
 
 def cmd_list(args: argparse.Namespace) -> int:
@@ -190,6 +205,13 @@ def cmd_list(args: argparse.Namespace) -> int:
 
 def main(argv: typing.Optional[typing.Sequence[str]] = None) -> int:
     """Entry point; returns a process exit code."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "lint":
+        # Delegate before argparse: REMAINDER would swallow a leading
+        # flag like --list-rules as if it were our own.
+        from repro.analysis import main as analysis_main
+
+        return analysis_main(argv[1:])
     args = build_parser().parse_args(argv)
     return args.func(args)
 

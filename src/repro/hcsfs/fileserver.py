@@ -72,7 +72,7 @@ class FileServer:
             raise FileServerError(f"{volume}:{path} not found")
         data = files[path]
         yield from self.host.disk.read(len(data))
-        self.env.stats.counter(f"fs.{self.host.name}.fetches").increment()
+        self.env.stats.counter(f"hcsfs.{self.host.name}.fetches").increment()
         return RpcReply(data, result_size_bytes=len(data) + 32)
 
     def _store(self, ctx, volume: str, path: str, data: bytes):
@@ -81,7 +81,7 @@ class FileServer:
         files = self._volume(volume)
         yield from self.host.disk.write(len(data))
         files[path] = bytes(data)
-        self.env.stats.counter(f"fs.{self.host.name}.stores").increment()
+        self.env.stats.counter(f"hcsfs.{self.host.name}.stores").increment()
         return RpcReply({"stored": len(data)}, result_size_bytes=32)
 
     def _listdir(self, ctx, volume: str, prefix: str = ""):

@@ -84,6 +84,8 @@ class Event:
         if self.triggered:
             raise RuntimeError("event already triggered")
         self._value = value
+        if self.env.monitor is not None:
+            self.env.monitor.event_triggered(self)
         self.env._schedule(self)
         return self
 
@@ -99,6 +101,8 @@ class Event:
             raise TypeError("fail() requires an exception instance")
         self._exception = exception
         self._value = None
+        if self.env.monitor is not None:
+            self.env.monitor.event_triggered(self)
         self.env._schedule(self)
         return self
 

@@ -23,6 +23,40 @@ class SimulationError(RuntimeError):
     """Raised for kernel-level misuse (e.g. scheduling into the past)."""
 
 
+class KernelMonitor:
+    """Observer hooks the kernel calls when one is attached.
+
+    The interleaving sanitizer (:mod:`repro.analysis.sanitizer`)
+    subclasses this to reconstruct happens-before ordering between
+    process segments.  Every hook is a no-op here, and no hook is
+    invoked at all unless :attr:`Environment.monitor` is set — the
+    instrumentation is off by default and costs one ``is None`` check
+    per kernel operation.
+
+    Monitors must be *passive*: they may record what they see but must
+    never schedule events, trigger events, or otherwise perturb the run,
+    or they would break the determinism they exist to check.
+    """
+
+    def segment_begin(self, process: Process) -> None:
+        """``process`` is resuming: a new segment (yield-to-yield) starts."""
+
+    def segment_end(self, process: Process) -> None:
+        """``process`` suspended (or finished): its current segment ends."""
+
+    def event_triggered(self, event: Event) -> None:
+        """``succeed``/``fail`` was called on ``event``."""
+
+    def note_resume(self, process: Process, event: Event) -> None:
+        """``event`` is about to resume ``process``."""
+
+    def event_processing(self, event: Event) -> None:
+        """The kernel is about to run ``event``'s callbacks."""
+
+    def event_processed(self, event: Event) -> None:
+        """The kernel finished running ``event``'s callbacks."""
+
+
 class Environment:
     """Owns the virtual clock, the event queue, and run control.
 
@@ -42,6 +76,9 @@ class Environment:
         self.rng = RngRegistry(seed)
         self.trace = Tracer(self)
         self.stats = StatsRegistry(self)
+        #: Optional :class:`KernelMonitor`; None (the default) disables
+        #: all instrumentation.
+        self.monitor: typing.Optional[KernelMonitor] = None
 
     # ------------------------------------------------------------------
     # Clock
@@ -99,7 +136,14 @@ class Environment:
             raise SimulationError("step() on an empty event queue")
         when, _, event = heapq.heappop(self._queue)
         self._now = when
-        event._process()
+        if self.monitor is not None:
+            self.monitor.event_processing(event)
+            try:
+                event._process()
+            finally:
+                self.monitor.event_processed(event)
+        else:
+            event._process()
 
     def run(
         self,

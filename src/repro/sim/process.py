@@ -71,11 +71,15 @@ class Process(Event):
         self, cause: object
     ) -> typing.Callable[[Event], None]:
         def callback(_event: Event) -> None:
+            if self.env.monitor is not None:
+                self.env.monitor.note_resume(self, _event)
             self._step(throw=Interrupt(cause))
 
         return callback
 
     def _resume(self, event: Event) -> None:
+        if self.env.monitor is not None:
+            self.env.monitor.note_resume(self, event)
         if event._exception is not None:
             event.defuse()
             self._step(throw=event._exception)
@@ -83,6 +87,9 @@ class Process(Event):
             self._step(send=event._value)
 
     def _step(self, send: object = None, throw: object = None) -> None:
+        monitor = self.env.monitor
+        if monitor is not None:
+            monitor.segment_begin(self)
         self.env._active_process = self
         try:
             if throw is not None:
@@ -97,6 +104,8 @@ class Process(Event):
             return
         finally:
             self.env._active_process = None
+            if monitor is not None:
+                monitor.segment_end(self)
         if not isinstance(target, Event):
             error = RuntimeError(
                 f"process {self.name!r} yielded {target!r}; "

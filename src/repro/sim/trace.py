@@ -9,6 +9,7 @@ filter by category.
 from __future__ import annotations
 
 import dataclasses
+import hashlib
 import typing
 
 if typing.TYPE_CHECKING:  # pragma: no cover
@@ -58,3 +59,33 @@ class Tracer:
     def format(self) -> str:
         """Human-readable rendering of the whole trace."""
         return "\n".join(str(r) for r in self.records)
+
+    # ------------------------------------------------------------------
+    # Canonical serialization (determinism checking)
+    # ------------------------------------------------------------------
+    def canonical_lines(self) -> typing.List[str]:
+        """One canonical string per record, in recorded order.
+
+        Data mappings are rendered with sorted keys so the serialization
+        depends only on what was traced, never on dict insertion order.
+        Two same-seed runs of a deterministic simulation produce
+        identical canonical lines; the determinism checker
+        (:mod:`repro.analysis.determinism`) diffs them.
+        """
+        lines = []
+        for record in self.records:
+            data = ",".join(
+                f"{key}={record.data[key]!r}" for key in sorted(record.data)
+            )
+            lines.append(
+                f"{record.time!r}|{record.category}|{record.message}|{data}"
+            )
+        return lines
+
+    def digest(self) -> str:
+        """SHA-256 over the canonical serialization of the trace."""
+        hasher = hashlib.sha256()
+        for line in self.canonical_lines():
+            hasher.update(line.encode("utf-8"))
+            hasher.update(b"\n")
+        return hasher.hexdigest()

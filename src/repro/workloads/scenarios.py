@@ -568,6 +568,137 @@ def build_stack(
     raise ValueError(f"unknown arrangement {arrangement!r}")
 
 
+# ----------------------------------------------------------------------
+# The scenario registry (determinism checking, smoke runs)
+# ----------------------------------------------------------------------
+#: name -> builder(seed) -> Environment.  Each builder stands up the
+#: testbed, enables tracing, drives a small representative workload to
+#: completion, and returns the environment so callers can digest the
+#: trace (``env.trace.digest()``) and stats.  The determinism gate
+#: (``python -m repro.analysis --determinism``) runs every entry twice
+#: per seed and fails on any digest mismatch.
+SCENARIOS: "typing.Dict[str, typing.Callable[[int], Environment]]" = {}
+
+
+def scenario(name: str) -> typing.Callable:
+    """Register a scenario builder under ``name``."""
+
+    def decorate(builder: typing.Callable[[int], Environment]):
+        if name in SCENARIOS:
+            raise ValueError(f"duplicate scenario {name!r}")
+        SCENARIOS[name] = builder
+        return builder
+
+    return decorate
+
+
+def _import_scenario(arrangement: Arrangement) -> typing.Callable[[int], Environment]:
+    """A cold-then-warm Import through one colocation arrangement."""
+
+    def build(seed: int) -> Environment:
+        from repro.core.names import HNSName
+
+        testbed = build_testbed(seed=seed)
+        stack = build_stack(testbed, arrangement)
+        env = testbed.env
+        env.trace.enabled = True
+        name = HNSName(BIND_CONTEXT, "fiji.cs.washington.edu")
+
+        def do():
+            yield from stack.importer.import_binding(TARGET_SERVICE, name)
+
+        env.run(until=env.process(do()))
+        env.run(until=env.process(do()))
+        return env
+
+    return build
+
+
+for _arrangement in Arrangement:
+    SCENARIOS[f"import_{_arrangement.name.lower()}"] = _import_scenario(
+        _arrangement
+    )
+
+
+@scenario("fast_path_coalescing")
+def _fast_path_scenario(seed: int) -> Environment:
+    """Concurrent same-name imports under the fast path (coalescing)."""
+    from repro.core.names import HNSName
+
+    testbed = build_testbed(seed=seed)
+    stack = build_stack(
+        testbed, Arrangement.ALL_LOCAL, fast_path=FastPathPolicy()
+    )
+    env = testbed.env
+    env.trace.enabled = True
+    name = HNSName(BIND_CONTEXT, "fiji.cs.washington.edu")
+
+    def one_import():
+        yield from stack.importer.import_binding(TARGET_SERVICE, name)
+
+    def drive():
+        waiters = [env.process(one_import()) for _ in range(4)]
+        yield env.all_of(waiters)
+
+    env.run(until=env.process(drive()))
+    return env
+
+
+@scenario("replica_scheduling")
+def _replica_scenario(seed: int) -> Environment:
+    """Meta reads through the adaptive replica scheduler (hedging on)."""
+    from repro.core.names import HNSName
+
+    testbed = build_testbed(seed=seed)
+    stack = build_stack(
+        testbed, Arrangement.ALL_LOCAL, replica_policy=ReplicaPolicy()
+    )
+    env = testbed.env
+    env.trace.enabled = True
+    name = HNSName(BIND_CONTEXT, "june.cs.washington.edu")
+
+    def do():
+        yield from stack.hns.find_nsm(name, "HostAddress")
+
+    env.run(until=env.process(do()))
+    env.run(until=env.process(do()))
+    return env
+
+
+@scenario("zipf_workload")
+def _workload_scenario(seed: int) -> Environment:
+    """A Zipf query stream over the HNS — exercises the named RNG paths."""
+    from repro.core.names import HNSName
+    from repro.workloads.generator import QueryWorkload
+
+    testbed = build_testbed(seed=seed)
+    stack = build_stack(testbed, Arrangement.ALL_LOCAL)
+    env = testbed.env
+    env.trace.enabled = True
+    population = [
+        (HNSName(BIND_CONTEXT, f"{host}.cs.washington.edu"), "HostAddress", {})
+        for host in ("fiji", "june", "ns0", "client")
+    ]
+    workload = QueryWorkload(
+        env, population, mean_interarrival_ms=40.0, zipf_s=1.1
+    )
+
+    def drive():
+        for query in workload.generate(12):
+            if query.at_ms > env.now:
+                yield env.timeout(query.at_ms - env.now)
+            yield from stack.hns.find_nsm(query.hns_name, query.query_class)
+
+    env.run(until=env.process(drive()))
+    return env
+
+
+def iter_scenarios() -> typing.Iterator[typing.Tuple[str, typing.Callable]]:
+    """Registered scenarios in a stable order."""
+    for name in sorted(SCENARIOS):
+        yield name, SCENARIOS[name]
+
+
 def _nsm_port_for(nsm_name: str) -> int:
     """Port the registration assigned to this NSM (see build_testbed)."""
     offsets = {

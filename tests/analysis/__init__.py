@@ -1,0 +1,1 @@
+"""hnslint + sanitizer + determinism checker tests."""

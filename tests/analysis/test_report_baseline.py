@@ -1,0 +1,263 @@
+"""Suppressions, the baseline file, reporters, and CLI exit codes."""
+
+import json
+import textwrap
+
+import pytest
+
+from repro.analysis import lint_source, render_json, render_text
+from repro.analysis.baseline import (
+    Baseline,
+    BaselineError,
+    Suppression,
+    _parse_toml_subset,
+)
+from repro.analysis.core import Finding, LintResult, lint_paths
+from repro.analysis.__main__ import run
+
+_BAD = textwrap.dedent(
+    """
+    import time
+
+    def stamp():
+        return time.time()
+    """
+)
+
+_CLEAN = textwrap.dedent(
+    """
+    def stamp(env):
+        return env.now
+    """
+)
+
+
+# ----------------------------------------------------------------------
+# Inline suppressions
+# ----------------------------------------------------------------------
+def test_inline_suppression_same_line():
+    src = _BAD.replace("time.time()", "time.time()  # hnslint: disable=SIM001")
+    assert lint_source(src) == []
+
+
+def test_inline_suppression_comment_line_above():
+    src = textwrap.dedent(
+        """
+        import time
+
+        def stamp():
+            # hnslint: disable=SIM001
+            return time.time()
+        """
+    )
+    assert lint_source(src) == []
+
+
+def test_inline_suppression_without_codes_suppresses_all():
+    src = _BAD.replace("time.time()", "time.time()  # hnslint: disable")
+    assert lint_source(src) == []
+
+
+def test_inline_suppression_wrong_code_does_not_apply():
+    src = _BAD.replace("time.time()", "time.time()  # hnslint: disable=SIM002")
+    assert [f.rule for f in lint_source(src)] == ["SIM001"]
+
+
+# ----------------------------------------------------------------------
+# Baseline
+# ----------------------------------------------------------------------
+_BASELINE_TEXT = """
+# reviewed exceptions
+[[suppression]]
+rule = "SIM001"
+path = "src/repro/sim/rng.py"
+contains = "random.Random"
+justification = "the one sanctioned wrapper"
+
+[[suppression]]
+rule = "SIM003"
+path = "resolver.py"  # suffix match
+justification = "entry captured by value"
+"""
+
+
+def _finding(rule, path, snippet):
+    return Finding(
+        rule=rule, path=path, line=1, col=0, message="m", snippet=snippet
+    )
+
+
+def test_baseline_structural_matching():
+    baseline = Baseline.loads(_BASELINE_TEXT)
+    assert len(baseline) == 2
+    assert baseline.matches(
+        _finding("SIM001", "src/repro/sim/rng.py", "x = random.Random(seed)")
+    )
+    # wrong snippet -> contains filter rejects
+    assert not baseline.matches(
+        _finding("SIM001", "src/repro/sim/rng.py", "x = time.time()")
+    )
+    # suffix path match, no contains filter
+    assert baseline.matches(
+        _finding("SIM003", "src/repro/bind/resolver.py", "anything")
+    )
+    # wrong rule
+    assert not baseline.matches(
+        _finding("SIM002", "src/repro/bind/resolver.py", "anything")
+    )
+
+
+def test_baseline_fallback_parser_agrees_with_tomllib():
+    data = _parse_toml_subset(_BASELINE_TEXT)
+    assert [entry["rule"] for entry in data["suppression"]] == [
+        "SIM001",
+        "SIM003",
+    ]
+    assert data["suppression"][1]["path"] == "resolver.py"
+    try:
+        import tomllib
+    except ModuleNotFoundError:
+        return
+    assert tomllib.loads(_BASELINE_TEXT)["suppression"] == data["suppression"]
+
+
+def test_baseline_requires_justification():
+    with pytest.raises(BaselineError, match="missing key 'justification'"):
+        Baseline.loads('[[suppression]]\nrule = "SIM001"\npath = "x.py"\n')
+    with pytest.raises(BaselineError, match="empty justification"):
+        Baseline.loads(
+            '[[suppression]]\nrule = "SIM001"\npath = "x.py"\n'
+            'justification = "  "\n'
+        )
+
+
+def test_baseline_fallback_rejects_non_string_values():
+    with pytest.raises(BaselineError, match="only basic strings"):
+        _parse_toml_subset('[[suppression]]\nrule = 3\n')
+
+
+def test_repo_baseline_loads_and_every_entry_is_justified(tmp_path):
+    import pathlib
+
+    root = pathlib.Path(__file__).resolve().parents[2]
+    baseline = Baseline.load(root / "hnslint-baseline.toml")
+    assert len(baseline) > 0
+    for suppression in baseline.suppressions:
+        assert suppression.justification.strip()
+
+
+# ----------------------------------------------------------------------
+# lint_paths + baseline
+# ----------------------------------------------------------------------
+def test_lint_paths_counts_baselined_findings(tmp_path):
+    bad = tmp_path / "clocky.py"
+    bad.write_text(_BAD, encoding="utf-8")
+    clean = tmp_path / "clean.py"
+    clean.write_text(_CLEAN, encoding="utf-8")
+
+    unbaselined = lint_paths([tmp_path])
+    assert unbaselined.files_scanned == 2
+    assert [f.rule for f in unbaselined.findings] == ["SIM001"]
+    assert not unbaselined.ok
+
+    baseline = Baseline(
+        [Suppression(rule="SIM001", path="clocky.py", justification="test")]
+    )
+    baselined = lint_paths([tmp_path], baseline=baseline)
+    assert baselined.ok
+    assert baselined.baselined == 1
+
+
+def test_lint_paths_records_parse_errors(tmp_path):
+    (tmp_path / "broken.py").write_text("def f(:\n", encoding="utf-8")
+    result = lint_paths([tmp_path])
+    assert not result.ok
+    assert len(result.parse_errors) == 1
+
+
+# ----------------------------------------------------------------------
+# Reporters
+# ----------------------------------------------------------------------
+def test_render_text_summary_and_finding_lines(tmp_path):
+    bad = tmp_path / "clocky.py"
+    bad.write_text(_BAD, encoding="utf-8")
+    result = lint_paths([bad])
+    text = render_text(result)
+    assert "clocky.py:5:12: SIM001" in text
+    assert "hnslint: 1 files scanned, 1 findings (SIM001: 1)" in text
+
+
+def test_render_json_is_stable_and_versioned(tmp_path):
+    bad = tmp_path / "clocky.py"
+    bad.write_text(_BAD, encoding="utf-8")
+    result = lint_paths([bad])
+    payload = json.loads(render_json(result))
+    assert payload["version"] == 1
+    assert payload["tool"] == "hnslint"
+    assert payload["ok"] is False
+    assert payload["counts"] == {"SIM001": 1}
+    finding = payload["findings"][0]
+    assert finding["rule"] == "SIM001"
+    assert finding["line"] == 5
+    # stable: same input, same output
+    assert render_json(result) == render_json(result)
+
+
+def test_render_json_ok_ands_determinism():
+    from repro.analysis.determinism import ScenarioCheck
+
+    clean = LintResult(findings=[], files_scanned=1)
+    bad_check = ScenarioCheck(
+        scenario="s", seed=0, ok=False, digest_a="a", digest_b="b",
+        events_a=1, events_b=1, first_divergence="line 0",
+    )
+    payload = json.loads(render_json(clean, [bad_check]))
+    assert payload["ok"] is False
+    assert payload["determinism"][0]["first_divergence"] == "line 0"
+
+
+# ----------------------------------------------------------------------
+# CLI exit codes
+# ----------------------------------------------------------------------
+def test_cli_exits_zero_on_clean_file(tmp_path, capsys):
+    clean = tmp_path / "clean.py"
+    clean.write_text(_CLEAN, encoding="utf-8")
+    assert run([str(clean), "--no-baseline"]) == 0
+    assert "0 findings" in capsys.readouterr().out
+
+
+def test_cli_exits_nonzero_on_finding(tmp_path, capsys):
+    bad = tmp_path / "clocky.py"
+    bad.write_text(_BAD, encoding="utf-8")
+    assert run([str(bad), "--no-baseline"]) == 1
+    assert "SIM001" in capsys.readouterr().out
+
+
+def test_cli_json_format(tmp_path, capsys):
+    bad = tmp_path / "clocky.py"
+    bad.write_text(_BAD, encoding="utf-8")
+    assert run([str(bad), "--no-baseline", "--format", "json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["counts"] == {"SIM001": 1}
+
+
+def test_cli_list_rules(capsys):
+    assert run(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for code in ("SIM001", "SIM002", "SIM003", "HNS001", "HNS002", "HNS003"):
+        assert code in out
+
+
+def test_repo_tree_is_lint_clean_under_checked_in_baseline(capsys):
+    """The acceptance gate itself: src/repro lints clean with the baseline."""
+    import pathlib
+
+    root = pathlib.Path(__file__).resolve().parents[2]
+    exit_code = run(
+        [
+            str(root / "src" / "repro"),
+            "--baseline",
+            str(root / "hnslint-baseline.toml"),
+        ]
+    )
+    assert exit_code == 0, capsys.readouterr().out

@@ -1,0 +1,197 @@
+"""HNS001/HNS002/HNS003: one true positive and one clean pass each."""
+
+import textwrap
+
+from repro.analysis import lint_source
+from repro.analysis.rules_hns import (
+    Hns001CacheInsertTtl,
+    Hns002WireMessageIdl,
+    Hns003StatNameConvention,
+)
+
+
+def _lint(source, rule_cls, path="<string>"):
+    return lint_source(textwrap.dedent(source), path=path, rules=[rule_cls()])
+
+
+# ----------------------------------------------------------------------
+# HNS001: cache inserts carry a TTL
+# ----------------------------------------------------------------------
+def test_hns001_flags_insert_without_ttl():
+    findings = _lint(
+        """
+        def store(self, key, payload):
+            self.cache.insert(key, payload, 1)
+        """,
+        Hns001CacheInsertTtl,
+    )
+    assert [f.rule for f in findings] == ["HNS001"]
+    assert "ttl_ms" in findings[0].message
+
+
+def test_hns001_flags_literal_non_positive_ttl():
+    findings = _lint(
+        """
+        def store(self, key, payload):
+            self.resolver_cache.insert(key, payload, 1, ttl_ms=0)
+        """,
+        Hns001CacheInsertTtl,
+    )
+    assert [f.rule for f in findings] == ["HNS001"]
+    assert "non-positive" in findings[0].message
+
+
+def test_hns001_clean_with_keyword_ttl():
+    findings = _lint(
+        """
+        def store(self, key, payload, record):
+            self.cache.insert(key, payload, 1, ttl_ms=record.ttl_ms)
+        """,
+        Hns001CacheInsertTtl,
+    )
+    assert findings == []
+
+
+def test_hns001_clean_with_positional_ttl():
+    # ResolverCache.insert(key, payload, record_count, ttl_ms)
+    findings = _lint(
+        """
+        def store(self, key, payload):
+            self.cache.insert(key, payload, 1, 30_000)
+        """,
+        Hns001CacheInsertTtl,
+    )
+    assert findings == []
+
+
+def test_hns001_ignores_non_cache_receivers():
+    findings = _lint(
+        """
+        def store(self, row):
+            self.table.insert(0, row)
+        """,
+        Hns001CacheInsertTtl,
+    )
+    assert findings == []
+
+
+# ----------------------------------------------------------------------
+# HNS002: wire messages registered with the serializer
+# ----------------------------------------------------------------------
+_BAD_MESSAGE = """
+    import dataclasses
+
+    @dataclasses.dataclass
+    class LookupRequest:
+        name: str
+"""
+
+_GOOD_MESSAGE = """
+    import dataclasses
+
+    @dataclasses.dataclass
+    class LookupRequest:
+        name: str
+        idl_type = "placeholder"
+"""
+
+
+def test_hns002_flags_unregistered_wire_message():
+    findings = _lint(
+        _BAD_MESSAGE, Hns002WireMessageIdl, path="src/repro/x/messages.py"
+    )
+    assert [f.rule for f in findings] == ["HNS002"]
+    assert "'LookupRequest'" in findings[0].message
+
+
+def test_hns002_clean_with_idl_type():
+    findings = _lint(
+        _GOOD_MESSAGE, Hns002WireMessageIdl, path="src/repro/x/messages.py"
+    )
+    assert findings == []
+
+
+def test_hns002_only_applies_to_messages_modules():
+    findings = _lint(_BAD_MESSAGE, Hns002WireMessageIdl, path="src/repro/x/other.py")
+    assert findings == []
+
+
+def test_hns002_ignores_non_wire_and_non_dataclass_classes():
+    findings = _lint(
+        """
+        import dataclasses
+
+        @dataclasses.dataclass
+        class CacheEntry:
+            payload: object
+
+        class PlainRequest:
+            pass
+        """,
+        Hns002WireMessageIdl,
+        path="src/repro/x/messages.py",
+    )
+    assert findings == []
+
+
+# ----------------------------------------------------------------------
+# HNS003: dotted stats names
+# ----------------------------------------------------------------------
+def test_hns003_flags_unknown_subsystem_prefix():
+    findings = _lint(
+        """
+        def record(self):
+            self.env.stats.counter("fs.reads").increment()
+        """,
+        Hns003StatNameConvention,
+    )
+    assert [f.rule for f in findings] == ["HNS003"]
+    assert "'fs'" in findings[0].message
+
+
+def test_hns003_flags_missing_subsystem_prefix():
+    findings = _lint(
+        """
+        def record(self):
+            self.env.stats.counter("hits").increment()
+        """,
+        Hns003StatNameConvention,
+    )
+    assert [f.rule for f in findings] == ["HNS003"]
+    assert "no subsystem prefix" in findings[0].message
+
+
+def test_hns003_flags_mixed_case_segment():
+    findings = _lint(
+        """
+        def record(self):
+            self.env.stats.counter("cache.Hits").increment()
+        """,
+        Hns003StatNameConvention,
+    )
+    assert [f.rule for f in findings] == ["HNS003"]
+
+
+def test_hns003_clean_literal_and_fstring_names():
+    findings = _lint(
+        """
+        def record(self, host):
+            self.env.stats.counter("cache.hits").increment()
+            self.env.stats.counter(f"bind.replica.{host}.sent").increment()
+            self.env.stats.timer("hrpc.call")
+        """,
+        Hns003StatNameConvention,
+    )
+    assert findings == []
+
+
+def test_hns003_skips_dynamic_names_and_other_receivers():
+    findings = _lint(
+        """
+        def record(self, name, registry):
+            self.env.stats.counter(name).increment()
+            registry.counter("Whatever.Goes")
+        """,
+        Hns003StatNameConvention,
+    )
+    assert findings == []

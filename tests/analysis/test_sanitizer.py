@@ -1,0 +1,163 @@
+"""Interleaving sanitizer: happens-before reconstruction and hazards."""
+
+import pytest
+
+from repro.analysis import InterleavingSanitizer
+from repro.sim import Environment
+
+
+class Box:
+    def __init__(self):
+        self.value = 0
+
+
+def test_timeout_racing_writer_and_reader_is_flagged():
+    """Two processes meeting at the same instant via timeouts only."""
+    env = Environment(seed=0)
+    sanitizer = InterleavingSanitizer.attach(env)
+    box = sanitizer.watch(Box(), "box")
+
+    def writer():
+        yield env.timeout(5)
+        box.value = 1
+
+    def reader():
+        yield env.timeout(5)
+        _ = box.value
+
+    env.process(writer(), name="writer")
+    env.process(reader(), name="reader")
+    env.run()
+
+    hazards = sanitizer.report()
+    assert len(hazards) == 1
+    hazard = hazards[0]
+    assert (hazard.label, hazard.field) == ("box", "value")
+    assert {hazard.first.kind, hazard.second.kind} == {"w", "r"}
+    description = hazard.describe()
+    assert "box.value" in description
+    assert "unordered" in description
+
+
+def test_event_synchronized_pair_is_clean():
+    """succeed() -> resume creates a happens-before edge."""
+    env = Environment(seed=0)
+    sanitizer = InterleavingSanitizer.attach(env)
+    box = sanitizer.watch(Box(), "box")
+    gate = env.event()
+
+    def writer():
+        yield env.timeout(5)
+        box.value = 1
+        gate.succeed(None)
+
+    def reader():
+        yield gate
+        _ = box.value
+
+    env.process(writer(), name="writer")
+    env.process(reader(), name="reader")
+    env.run()
+
+    assert sanitizer.report() == []
+
+
+def test_program_order_within_one_process_is_clean():
+    env = Environment(seed=0)
+    sanitizer = InterleavingSanitizer.attach(env)
+    box = sanitizer.watch(Box(), "box")
+
+    def proc():
+        box.value = 1
+        yield env.timeout(5)
+        _ = box.value
+
+    env.process(proc(), name="solo")
+    env.run()
+    assert sanitizer.report() == []
+
+
+def test_concurrent_reads_are_not_a_hazard():
+    env = Environment(seed=0)
+    sanitizer = InterleavingSanitizer.attach(env)
+    box = sanitizer.watch(Box(), "box")
+
+    def reader():
+        yield env.timeout(5)
+        _ = box.value
+
+    env.process(reader(), name="r1")
+    env.process(reader(), name="r2")
+    env.run()
+    assert sanitizer.report() == []
+
+
+def test_setup_accesses_outside_processes_never_race():
+    env = Environment(seed=0)
+    sanitizer = InterleavingSanitizer.attach(env)
+    box = sanitizer.watch(Box(), "box")
+    box.value = 7  # setup write, no current segment
+
+    def reader():
+        yield env.timeout(1)
+        _ = box.value
+
+    env.process(reader(), name="reader")
+    env.run()
+    assert sanitizer.report() == []
+
+
+def test_watched_proxy_records_item_and_len_accesses():
+    env = Environment(seed=0)
+    sanitizer = InterleavingSanitizer.attach(env)
+    table = sanitizer.watch({}, "table")
+
+    def writer():
+        yield env.timeout(5)
+        table["k"] = 1
+
+    def reader():
+        yield env.timeout(5)
+        _ = "k" in table
+        _ = len(table)
+
+    env.process(writer(), name="writer")
+    env.process(reader(), name="reader")
+    env.run()
+
+    hazards = sanitizer.report()
+    assert [h.field for h in hazards] == ["['k']"]
+
+
+def test_attach_refuses_a_second_monitor_and_detach_restores():
+    env = Environment(seed=0)
+    sanitizer = InterleavingSanitizer.attach(env)
+    with pytest.raises(RuntimeError, match="already has a monitor"):
+        InterleavingSanitizer.attach(env)
+    sanitizer.detach()
+    assert env.monitor is None
+    InterleavingSanitizer.attach(env)
+
+
+def test_instrumented_run_takes_the_same_trajectory():
+    """The sanitizer is passive: digests match a bare run exactly."""
+    from repro.analysis.determinism import run_digest
+
+    def trajectory(with_monitor):
+        env = Environment(seed=1)
+        env.trace.enabled = True
+        if with_monitor:
+            InterleavingSanitizer.attach(env)
+
+        def proc(name):
+            rng = env.rng.stream(f"jitter.{name}")
+            for _ in range(3):
+                yield env.timeout(1 + rng.random())
+                env.trace.emit("test", f"tick {name}", t=env.now)
+
+        env.process(proc("a"), name="a")
+        env.process(proc("b"), name="b")
+        env.run()
+        return run_digest(env)
+
+    assert trajectory(False) == trajectory(True)

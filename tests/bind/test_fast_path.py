@@ -4,7 +4,6 @@ import pytest
 
 from repro.bind import (
     BindResolver,
-    BindServer,
     NameNotFound,
     ResourceRecord,
     RRType,

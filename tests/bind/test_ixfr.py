@@ -13,7 +13,7 @@ from repro.bind import (
     Zone,
     ZoneDelta,
 )
-from repro.bind.messages import IxfrResponse, delta_from_idl, delta_to_idl
+from repro.bind.messages import delta_from_idl, delta_to_idl
 from repro.harness.calibration import DEFAULT_CALIBRATION
 from repro.net import DatagramTransport, Internetwork
 from repro.resolution import ReplicaPolicy

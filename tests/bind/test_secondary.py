@@ -5,7 +5,6 @@ import pytest
 from repro.bind import (
     BindResolver,
     BindServer,
-    NameNotFound,
     ResourceRecord,
     RRType,
     SecondaryBindServer,

@@ -12,7 +12,6 @@ from repro.bind import (
     Zone,
     ZoneNotFound,
 )
-from repro.bind.messages import UpdateMode
 
 
 def run(env, gen):

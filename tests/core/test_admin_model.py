@@ -102,7 +102,7 @@ def test_native_updates_visible_globally(testbed):
     """Direct access: a change made through the *native* interface is
     seen by HNS clients without any reregistration."""
     env = testbed.env
-    from repro.bind import ResourceRecord, RRType
+    from repro.bind import ResourceRecord
 
     nsm = testbed.make_bind_hostaddr_nsm(testbed.client)
     name = HNSName("BIND-cs", "newborn.cs.washington.edu")

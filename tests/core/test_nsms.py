@@ -5,7 +5,7 @@ import pytest
 from repro.core import HNSName, NsmResult, NsmStub, serve_nsm
 from repro.hrpc import HrpcRuntime, HrpcServer, HRPCBinding
 from repro.net.addresses import Endpoint
-from repro.workloads.scenarios import BIND_NS, CH_NS
+from repro.workloads.scenarios import BIND_NS
 
 from tests.core.conftest import run
 

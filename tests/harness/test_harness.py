@@ -8,7 +8,6 @@ from repro.harness import (
     format_table,
     run_simulation,
 )
-from repro.harness.calibration import Calibration
 from repro.sim import Environment
 
 

@@ -1,6 +1,5 @@
 """The consolidated reproduction report."""
 
-import pytest
 
 from repro.harness.report import (
     equation_1,

@@ -1,6 +1,5 @@
 """Soak tests: the federation under churn, loss, and sustained load."""
 
-import pytest
 
 from repro.bind import ResourceRecord, RRType
 from repro.core import Arrangement, HNSName
@@ -97,7 +96,6 @@ def test_sustained_workload_with_native_churn():
 def test_workload_survives_packet_loss():
     """10% datagram loss: retransmission keeps the system correct, just
     slower; statistics show the retries happened."""
-    import dataclasses
 
     testbed = build_testbed(seed=131)
     env = testbed.env

@@ -7,7 +7,6 @@ from repro.bind import (
     BindResolver,
     BindServer,
     ResourceRecord,
-    RRType,
     Zone,
 )
 from repro.core import HNSName

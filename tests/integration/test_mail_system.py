@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core import HNSName, LocalNsmBinding, NsmStub
+from repro.core import HNSName, NsmStub
 from repro.core.import_call import HrpcImporter, LocalFinder
 from repro.hrpc import HrpcRuntime
 from repro.mail import MAIL_PROGRAM, MailAgent, MailMessage, MailboxServer

@@ -2,8 +2,7 @@
 
 import pytest
 
-from repro.broadcast import BroadcastLocator, NameOwnerService, NameQuery
-from repro.broadcast.locator import LOCATOR_PORT
+from repro.broadcast import BroadcastLocator, NameOwnerService
 from repro.net import DatagramTransport, Internetwork, Service
 from repro.sim import ConstantLatency, Environment
 

@@ -5,7 +5,6 @@ with :class:`TransportTimeout` after a bounded number of attempts —
 regardless of the loss rate.  Silence-forever is not an outcome.
 """
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.net import (
