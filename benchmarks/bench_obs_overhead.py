@@ -1,0 +1,98 @@
+"""Observability overhead: what tracing costs, and what it must not.
+
+The :mod:`repro.obs` contract has two halves:
+
+1. **zero simulated cost** — spans never schedule events, charge CPU,
+   or advance any workload RNG stream, so the simulated latency of an
+   import is bit-identical whether tracing is off, sampled, or fully
+   on with the metrics pipeline attached;
+2. **bounded host cost** — the wall-clock overhead of recording spans
+   is the only price, it scales with the sampling rate, and the
+   off-mode price is one attribute check per instrumentation site.
+
+This bench runs the same mixed cold/warm import workload under the
+three modes and records both halves in ``BENCH_obs_overhead.json``.
+
+Set ``REPRO_BENCH_SMOKE=1`` for a reduced configuration (CI smoke).
+"""
+
+import os
+import time
+
+from repro.core import Arrangement
+from repro.obs import SpanMetrics
+from repro.workloads import build_stack, build_testbed
+
+from conftest import FIJI, timed, write_bench_results
+
+SMOKE = bool(os.environ.get("REPRO_BENCH_SMOKE"))
+
+#: imports per mode; every 4th runs against flushed (cold) caches
+IMPORTS = 8 if SMOKE else 48
+
+MODES = ("off", "sampled", "full")
+
+
+def run_mode(mode):
+    """One workload pass; returns (sim latencies, wall seconds, env)."""
+    testbed = build_testbed(seed=23)
+    stack = build_stack(testbed, Arrangement.ALL_LOCAL)
+    env = testbed.env
+    if mode == "sampled":
+        env.obs.enable(sample_every=16)
+    elif mode == "full":
+        env.obs.enable(metrics=SpanMetrics(env))
+    latencies = []
+    wall_start = time.perf_counter()
+    for i in range(IMPORTS):
+        if i % 4 == 0:
+            stack.flush_all_caches()
+        latencies.append(
+            timed(env, stack.importer.import_binding("DesiredService", FIJI))
+        )
+    wall = time.perf_counter() - wall_start
+    return latencies, wall, env
+
+
+def test_obs_overhead_modes():
+    results = {}
+    latencies_by_mode = {}
+    for mode in MODES:
+        latencies, wall, env = run_mode(mode)
+        latencies_by_mode[mode] = latencies
+        results[mode] = {
+            "imports": IMPORTS,
+            "spans": len(env.obs.spans),
+            "dropped": env.obs.dropped,
+            "sim_total_ms": sum(latencies),
+            "wall_ms_total": wall * 1_000.0,
+            "wall_us_per_import": wall * 1_000_000.0 / IMPORTS,
+        }
+        if mode == "full":
+            histograms = env.stats.histograms()
+            results[mode]["histograms"] = len(
+                [n for n in histograms if n.startswith("obs.span.")]
+            )
+            assert "obs.span.hrpc.import" in histograms
+
+    # Half 1: tracing never moves simulated time — bit-identical.
+    assert latencies_by_mode["off"] == latencies_by_mode["sampled"]
+    assert latencies_by_mode["off"] == latencies_by_mode["full"]
+
+    # Half 2: the span volume follows the mode; off records nothing.
+    assert results["off"]["spans"] == 0
+    assert 0 < results["sampled"]["spans"] < results["full"]["spans"]
+
+    off_wall = results["off"]["wall_ms_total"]
+    print()
+    print(f"obs overhead over {IMPORTS} imports (cold every 4th):")
+    for mode in MODES:
+        row = results[mode]
+        ratio = row["wall_ms_total"] / off_wall if off_wall else float("nan")
+        row["wall_vs_off"] = ratio
+        print(
+            f"  {mode:>8}: {row['spans']:5d} spans, "
+            f"{row['sim_total_ms']:9.1f} sim ms, "
+            f"{row['wall_ms_total']:7.1f} wall ms ({ratio:4.2f}x off)"
+        )
+    write_bench_results("obs_overhead", "modes", results)

@@ -3,7 +3,9 @@
 Static rules (:mod:`repro.analysis.rules_sim`) catch wall-clock and
 ambient-randomness *patterns*; this module checks the property itself.
 Every scenario registered in :mod:`repro.workloads.scenarios` is run
-twice with the same seed and the two runs are reduced to a digest over
+twice with the same seed — plus a third time with span tracing
+(:mod:`repro.obs`) forced on, which must not move the trajectory — and
+each run is reduced to a digest over
 
 - the canonical trace serialization (every traced occurrence, in order,
   with sorted data keys),
@@ -22,12 +24,18 @@ import dataclasses
 import hashlib
 import typing
 
+from repro.obs.span import Observability
 from repro.sim.kernel import Environment
 
 
 @dataclasses.dataclass(frozen=True)
 class ScenarioCheck:
-    """Result of double-running one scenario."""
+    """Result of double-running one scenario.
+
+    ``digest_obs`` comes from a third run with span tracing forced on
+    (:attr:`~repro.obs.span.Observability.default_enabled`): tracing a
+    run must not change its trajectory, so all three digests must match.
+    """
 
     scenario: str
     seed: int
@@ -37,6 +45,7 @@ class ScenarioCheck:
     events_a: int
     events_b: int
     first_divergence: str = ""
+    digest_obs: str = ""
 
     def to_json(self) -> typing.Dict[str, object]:
         return {
@@ -45,6 +54,7 @@ class ScenarioCheck:
             "ok": self.ok,
             "digest_a": self.digest_a,
             "digest_b": self.digest_b,
+            "digest_obs": self.digest_obs,
             "trace_records_a": self.events_a,
             "trace_records_b": self.events_b,
             "first_divergence": self.first_divergence,
@@ -78,25 +88,41 @@ def check_scenario(
     builder: typing.Callable[[int], Environment],
     seed: int = 0,
 ) -> ScenarioCheck:
-    """Run ``builder`` twice with ``seed`` and compare trajectories."""
+    """Run ``builder`` three times with ``seed`` and compare.
+
+    Runs A and B are plain replays; run C executes with span tracing
+    forced on (:class:`~repro.obs.span.Observability` constructs
+    enabled), proving that observability never perturbs a run.
+    """
     env_a = builder(seed)
     lines_a = run_lines(env_a)
     env_b = builder(seed)
     lines_b = run_lines(env_b)
+    saved = Observability.default_enabled
+    Observability.default_enabled = True
+    try:
+        env_c = builder(seed)
+        lines_c = run_lines(env_c)
+    finally:
+        Observability.default_enabled = saved
     digest_a = _digest(lines_a)
     digest_b = _digest(lines_b)
+    digest_c = _digest(lines_c)
     divergence = ""
     if digest_a != digest_b:
         divergence = _first_divergence(lines_a, lines_b)
+    elif digest_a != digest_c:
+        divergence = "traced run: " + _first_divergence(lines_a, lines_c)
     return ScenarioCheck(
         scenario=name,
         seed=seed,
-        ok=digest_a == digest_b,
+        ok=digest_a == digest_b == digest_c,
         digest_a=digest_a,
         digest_b=digest_b,
         events_a=len(env_a.trace.records),
         events_b=len(env_b.trace.records),
         first_divergence=divergence,
+        digest_obs=digest_c,
     )
 
 

@@ -147,6 +147,7 @@ STAT_PREFIXES = frozenset(
         "localfiles",
         "mail",
         "net",
+        "obs",
         "nsm",
         "portmapper",
         "rexec",

@@ -50,9 +50,13 @@ from repro.net.addresses import Endpoint
 from repro.net.errors import NetworkError, is_transient
 from repro.net.host import Host
 from repro.net.transport import Transport
+from repro.obs.span import NULL_SPAN
 from repro.resolution import FastPathPolicy, ReplicaPolicy, ResolutionPolicy
 from repro.serial import HandcodedMarshaller, StubCompiler
 from repro.sim.events import Event
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.span import SpanLike
 
 
 #: sentinel payload marking a cached NXDOMAIN answer
@@ -147,27 +151,41 @@ class BindResolver:
         """
         name = DomainName(name)
         key = (str(name), rtype.value)
-        # --- cache probe --------------------------------------------------
-        if self.cache is not None:
-            records = yield from self._probe_cache(key, name, rtype)
-            if records is not None:
+        with self.env.obs.span(
+            "bind.lookup",
+            resolver=self.name,
+            owner=str(name),
+            rtype=rtype.name,
+        ) as span:
+            # --- cache probe ----------------------------------------------
+            if self.cache is not None:
+                records = yield from self._probe_cache(key, name, rtype, span)
+                if records is not None:
+                    span.set(outcome="hit")
+                    return records
+            # --- single-flight coalescing ---------------------------------
+            fast = self.fast_path
+            if fast is not None and fast.coalesce:
+                flight = self._flights.get(key)
+                if flight is not None:
+                    span.set(outcome="coalesced")
+                    records = yield from self._follow(flight)
+                    return records
+                span.set(outcome="miss", role="leader")
+                records = yield from self._lead(
+                    key, self._fetch_counted(name, rtype, key)
+                )
                 return records
-        # --- single-flight coalescing ------------------------------------
-        fast = self.fast_path
-        if fast is not None and fast.coalesce:
-            flight = self._flights.get(key)
-            if flight is not None:
-                records = yield from self._follow(flight)
-                return records
-            records = yield from self._lead(
-                key, self._fetch_counted(name, rtype, key)
-            )
+            span.set(outcome="miss")
+            records = yield from self._fetch(name, rtype, key)
             return records
-        records = yield from self._fetch(name, rtype, key)
-        return records
 
     def _probe_cache(
-        self, key: object, name: DomainName, rtype: RRType
+        self,
+        key: object,
+        name: DomainName,
+        rtype: RRType,
+        span: "SpanLike" = NULL_SPAN,
     ) -> typing.Generator:
         """Cache-only resolution: records on a fresh hit, else None.
 
@@ -182,6 +200,7 @@ class BindResolver:
         if entry is None:
             return None
         if entry.payload is _NEGATIVE:
+            span.set(outcome="negative")
             env.stats.counter(f"bind.{self.name}.negative_hits").increment()
             raise NameNotFound(f"{name} {rtype} (negatively cached)")
         if self.cache.format is CacheFormat.MARSHALLED:
@@ -288,7 +307,12 @@ class BindResolver:
         defer_ms = self.env.rng.stream("bind.refresh_jitter").uniform(
             0.0, max(0.0, entry.expires_at - self.env.now) / 2.0
         )
-        self.env.process(self._refresh(event, key, name, rtype, defer_ms))
+        # Causal link: the renewal runs as its own process, so the span
+        # context of the triggering hit must travel explicitly.
+        parent = self.env.obs.current()
+        self.env.process(
+            self._refresh(event, key, name, rtype, defer_ms, parent=parent)
+        )
 
     def _refresh(
         self,
@@ -297,6 +321,7 @@ class BindResolver:
         name: DomainName,
         rtype: RRType,
         defer_ms: float = 0.0,
+        parent: typing.Optional["SpanLike"] = None,
     ) -> typing.Generator:
         """The background renewal process for one cache entry.
 
@@ -308,17 +333,27 @@ class BindResolver:
         """
         if defer_ms > 0:
             yield self.env.timeout(defer_ms)
-        try:
-            records = yield from self._fetch(name, rtype, key, background=True)
-        except Exception as err:
+        with self.env.obs.span(
+            "bind.refresh",
+            parent=parent,
+            resolver=self.name,
+            owner=str(name),
+        ) as span:
+            try:
+                records = yield from self._fetch(
+                    name, rtype, key, background=True
+                )
+            except Exception as err:
+                span.set(outcome="failed")
+                self._flights.pop(key, None)
+                event.fail(err)
+                self.env.stats.counter(
+                    f"bind.{self.name}.refresh_failures"
+                ).increment()
+                return
+            span.set(outcome="renewed")
             self._flights.pop(key, None)
-            event.fail(err)
-            self.env.stats.counter(
-                f"bind.{self.name}.refresh_failures"
-            ).increment()
-            return
-        self._flights.pop(key, None)
-        event.succeed((records, len(records)))
+            event.succeed((records, len(records)))
 
     def _compute(
         self, cost_ms: float, background: bool = False
@@ -357,6 +392,25 @@ class BindResolver:
     ) -> typing.Generator:
         """The full remote-call path: request, failover, serve-stale,
         negative caching, cache insert.  Returns the record list."""
+        with self.env.obs.span(
+            "bind.fetch",
+            resolver=self.name,
+            owner=str(name),
+            background=background,
+        ) as span:
+            records = yield from self._fetch_inner(
+                name, rtype, key, background, span
+            )
+            return records
+
+    def _fetch_inner(
+        self,
+        name: DomainName,
+        rtype: RRType,
+        key: object,
+        background: bool,
+        span: "SpanLike",
+    ) -> typing.Generator:
         env = self.env
         env.stats.counter(f"bind.{self.name}.remote_lookups").increment()
         if self.per_call_overhead_ms:
@@ -378,6 +432,7 @@ class BindResolver:
             # within the stale window.
             stale = yield from self._serve_stale(key, err)
             if stale is not None:
+                span.set(served_stale=True)
                 return stale
             raise
         if not isinstance(reply, QueryResponse):
@@ -489,25 +544,34 @@ class BindResolver:
                 )
                 if delay > 0:
                     yield self.env.timeout(delay)
-            for endpoint in [self.server] + self.secondaries:
-                try:
-                    reply = yield from self.transport.request(
-                        self.host,
-                        endpoint,
-                        payload,
-                        size_bytes,
-                        timeout_ms=timeout_ms,
-                    )
-                except NetworkError as err:
-                    last_error = err
-                    self.env.stats.counter(
-                        f"bind.{self.name}.failovers"
-                    ).increment()
-                    continue
-                return reply
-            assert last_error is not None
-            if not is_transient(last_error):
-                raise last_error
+            with self.env.obs.span("bind.round", round=round_index):
+                for endpoint in [self.server] + self.secondaries:
+                    with self.env.obs.span(
+                        "bind.leg", endpoint=str(endpoint)
+                    ) as leg:
+                        try:
+                            reply = yield from self.transport.request(
+                                self.host,
+                                endpoint,
+                                payload,
+                                size_bytes,
+                                timeout_ms=timeout_ms,
+                            )
+                        except NetworkError as err:
+                            leg.set(
+                                outcome="error",
+                                error_type=type(err).__name__,
+                            )
+                            last_error = err
+                            self.env.stats.counter(
+                                f"bind.{self.name}.failovers"
+                            ).increment()
+                            continue
+                        leg.set(outcome="won")
+                        return reply
+                assert last_error is not None
+                if not is_transient(last_error):
+                    raise last_error
         assert last_error is not None
         raise last_error
 
@@ -532,15 +596,17 @@ class BindResolver:
                 )
                 if delay > 0:
                     yield self.env.timeout(delay)
-            try:
-                reply = yield from self._hedged_exchange(
-                    payload, size_bytes, timeout_ms
-                )
-                return reply
-            except NetworkError as err:
-                last_error = err
-                if not is_transient(err):
-                    raise
+            with self.env.obs.span("bind.round", round=round_index) as rspan:
+                try:
+                    reply = yield from self._hedged_exchange(
+                        payload, size_bytes, timeout_ms
+                    )
+                    return reply
+                except NetworkError as err:
+                    rspan.set(error_type=type(err).__name__)
+                    last_error = err
+                    if not is_transient(err):
+                        raise
         assert last_error is not None
         raise last_error
 
@@ -564,6 +630,9 @@ class BindResolver:
         replica_policy = self.replica_policy
         assert replica_policy is not None
         queue = scheduler.plan()
+        # Legs run as their own processes; the caller's span context must
+        # travel into them explicitly.
+        obs_parent = env.obs.current()
         result = env.event()
         # The result may be failed with nobody parked on it (e.g. the
         # last leg fails while the winner already returned) — that must
@@ -579,41 +648,54 @@ class BindResolver:
 
             def leg() -> typing.Generator:
                 start = env.now
-                try:
-                    reply = yield from self.transport.request(
-                        self.host,
-                        state.endpoint,
-                        payload,
-                        size_bytes,
-                        timeout_ms=timeout_ms,
-                    )
-                except NetworkError as err:
-                    pending["outstanding"] -= 1
-                    scheduler.record_failure(state, env.now - start)
-                    if result.triggered:
+                with env.obs.span(
+                    "bind.leg",
+                    parent=obs_parent,
+                    endpoint=state.label,
+                    hedge=hedge,
+                ) as lspan:
+                    try:
+                        reply = yield from self.transport.request(
+                            self.host,
+                            state.endpoint,
+                            payload,
+                            size_bytes,
+                            timeout_ms=timeout_ms,
+                        )
+                    except NetworkError as err:
+                        lspan.set(
+                            outcome="error", error_type=type(err).__name__
+                        )
+                        pending["outstanding"] -= 1
+                        scheduler.record_failure(state, env.now - start)
+                        if result.triggered:
+                            return
+                        env.stats.counter(
+                            f"bind.{self.name}.failovers"
+                        ).increment()
+                        if queue:
+                            launch(queue.pop(0), hedge=False)
+                        elif pending["outstanding"] == 0:
+                            result.fail(err)
                         return
-                    env.stats.counter(
-                        f"bind.{self.name}.failovers"
-                    ).increment()
-                    if queue:
-                        launch(queue.pop(0), hedge=False)
-                    elif pending["outstanding"] == 0:
-                        result.fail(err)
-                    return
-                except Exception as err:
-                    # Application-level failure (e.g. a RemoteCallError
-                    # from the server): the replica *answered*, so it is
-                    # healthy — but no other replica will answer better.
+                    except Exception as err:
+                        # Application-level failure (e.g. a RemoteCallError
+                        # from the server): the replica *answered*, so it is
+                        # healthy — but no other replica will answer better.
+                        lspan.set(outcome="app_error")
+                        pending["outstanding"] -= 1
+                        scheduler.record_success(
+                            state, env.now - start, won=False
+                        )
+                        if not result.triggered:
+                            result.fail(err)
+                        return
                     pending["outstanding"] -= 1
-                    scheduler.record_success(state, env.now - start, won=False)
-                    if not result.triggered:
-                        result.fail(err)
-                    return
-                pending["outstanding"] -= 1
-                won = not result.triggered
-                scheduler.record_success(state, env.now - start, won=won)
-                if won:
-                    result.succeed(reply)
+                    won = not result.triggered
+                    lspan.set(outcome="won" if won else "lost")
+                    scheduler.record_success(state, env.now - start, won=won)
+                    if won:
+                        result.succeed(reply)
 
             env.process(leg(), name=f"bind.{self.name}.leg:{state.label}")
 
@@ -658,16 +740,23 @@ class BindResolver:
             (q.name, q.rtype.value, q.chain_from, q.chain_field)
             for q in questions
         )
-        fast = self.fast_path
-        if fast is not None and fast.coalesce:
-            flight = self._flights.get(key)
-            if flight is not None:
-                answers = yield from self._follow(flight)
+        with self.env.obs.span(
+            "bind.batch", resolver=self.name, questions=len(questions)
+        ) as span:
+            fast = self.fast_path
+            if fast is not None and fast.coalesce:
+                flight = self._flights.get(key)
+                if flight is not None:
+                    span.set(outcome="coalesced")
+                    answers = yield from self._follow(flight)
+                    return answers
+                span.set(outcome="miss", role="leader")
+                answers = yield from self._lead(
+                    key, self._fetch_batch(questions)
+                )
                 return answers
-            answers = yield from self._lead(key, self._fetch_batch(questions))
+            answers, _count = yield from self._fetch_batch(questions)
             return answers
-        answers, _count = yield from self._fetch_batch(questions)
-        return answers
 
     def _fetch_batch(
         self, questions: typing.List[BatchQuestion]

@@ -124,11 +124,26 @@ def cmd_table31(args: argparse.Namespace) -> int:
 
 
 def cmd_trace(args: argparse.Namespace) -> int:
-    """``trace``: a traced Import (Figure 2.1 style)."""
+    """``trace``: a traced Import (Figure 2.1 style).
+
+    Beyond the event log, span tracing (:mod:`repro.obs`) renders the
+    causal tree and the critical path of the import, and ``--json`` /
+    ``--perfetto`` export the spans for offline analysis (the Perfetto
+    file loads in ``ui.perfetto.dev`` or ``chrome://tracing``).
+    """
+    from repro.obs import (
+        CriticalPath,
+        render_trace,
+        write_chrome_trace,
+        write_json,
+    )
+
     testbed = build_testbed(seed=args.seed)
     stack = _stack_with_all_nsms(testbed)
     env = testbed.env
     env.trace.enabled = True
+    # Enable after build: registration traffic stays out of the trace.
+    env.obs.enable()
     name = HNSName.parse(args.hns_name)
 
     def do():
@@ -138,6 +153,20 @@ def cmd_trace(args: argparse.Namespace) -> int:
     binding = env.run(until=env.process(do()))
     for record in env.trace.records:
         print(record)
+    roots = env.obs.roots()
+    if roots:
+        spans = env.obs.trace_spans(roots[0].trace_id)
+        path = CriticalPath.from_trace(spans)
+        print()
+        print(render_trace(spans, critical_path=path))
+        print()
+        print(path.render())
+    if args.json_path:
+        count = write_json(env.obs, args.json_path)
+        print(f"wrote {count} spans to {args.json_path}")
+    if args.perfetto_path:
+        count = write_chrome_trace(env.obs, args.perfetto_path)
+        print(f"wrote {count} trace events to {args.perfetto_path}")
     print(f"=> {binding.describe()}")
     return 0
 
@@ -171,6 +200,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_trace = sub.add_parser("trace", help="traced Import (Figure 2.1 style)")
     p_trace.add_argument("service")
     p_trace.add_argument("hns_name")
+    p_trace.add_argument(
+        "--json", dest="json_path", default="", help="write spans as JSON"
+    )
+    p_trace.add_argument(
+        "--perfetto",
+        dest="perfetto_path",
+        default="",
+        help="write a Chrome trace_event file (ui.perfetto.dev)",
+    )
     p_trace.set_defaults(func=cmd_trace)
 
     p_list = sub.add_parser("list", help="browse the registered federation")

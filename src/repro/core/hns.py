@@ -47,6 +47,9 @@ from repro.resolution import (
 )
 from repro.sim.events import Event
 
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.span import SpanLike
+
 HOST_ADDRESS_QC = "HostAddress"
 
 #: FindNSM's answer: either a handle for a remote HRPC call, or a
@@ -153,6 +156,18 @@ class HNS:
         server already known to be dead.
         """
         query_class_named(query_class)  # fail fast on unknown classes
+        with self.env.obs.span(
+            "hns.find_nsm",
+            context=hns_name.context,
+            name=hns_name.name,
+            query_class=query_class,
+        ) as span:
+            binding = yield from self._find_nsm(hns_name, query_class, span)
+            return binding
+
+    def _find_nsm(
+        self, hns_name: HNSName, query_class: str, span: "SpanLike"
+    ) -> FindNsmCall:
         cal = self.calibration
         env = self.env
         fast = self.fast_path
@@ -168,8 +183,10 @@ class HNS:
             ns_name, nsm_name, record = yield from (
                 self.metastore.find_nsm_bundle(hns_name.context, query_class)
             )
+            span.set(ns=ns_name, nsm=nsm_name)
             reroute = self._breaker_reroute(nsm_name)
             if reroute is not None:
+                span.set(outcome="breaker_reroute")
                 return reroute
         else:
             # Mapping 1: context -> name service name.
@@ -180,11 +197,13 @@ class HNS:
             nsm_name = yield from self.metastore.nsm_name_for(
                 ns_name, query_class
             )
+            span.set(ns=ns_name, nsm=nsm_name)
             # Degradation ladder, last rung: a tripped breaker
             # short-circuits before mapping 3 spends anything more on a
             # dead NSM.
             reroute = self._breaker_reroute(nsm_name)
             if reroute is not None:
+                span.set(outcome="breaker_reroute")
                 return reroute
             # Mapping 3: NSM name -> NSM binding information.
             record = yield from self.metastore.nsm_record(nsm_name)
@@ -202,6 +221,7 @@ class HNS:
                     f"NSM {nsm_name} is not remotely callable and is not "
                     f"linked into this process"
                 )
+            span.set(outcome="local")
             return LocalNsmBinding(local)
         if batching:
             # Fast path: the meta zone's own NSM-host address record
@@ -224,7 +244,9 @@ class HNS:
             )
         local = self._local_nsms.get(nsm_name)
         if local is not None:
+            span.set(outcome="local")
             return LocalNsmBinding(local)
+        span.set(outcome="remote")
         return HRPCBinding(
             endpoint=Endpoint(address, record.port),
             program=record.program,
@@ -272,21 +294,27 @@ class HNS:
         fall back to the recursive path, keeping the two behaviours
         answer-equivalent.
         """
-        try:
-            addr_text = yield from self.metastore.nsm_host_address(
-                record.host_name
-            )
-            return NetworkAddress(addr_text)
-        except NameNotFound:
-            self.env.stats.counter("hns.fast_path.addr_fallbacks").increment()
-            address = yield from retrying(
-                self.env,
-                self.policy,
-                lambda _attempt: self._resolve_nsm_host(record),
-                rng_stream="hns.backoff",
-                stat="hns.find_nsm.retries",
-            )
-            return address
+        with self.env.obs.span(
+            "hns.resolve_host_fast", host=record.host_name
+        ) as span:
+            try:
+                addr_text = yield from self.metastore.nsm_host_address(
+                    record.host_name
+                )
+                return NetworkAddress(addr_text)
+            except NameNotFound:
+                span.set(fallback=True)
+                self.env.stats.counter(
+                    "hns.fast_path.addr_fallbacks"
+                ).increment()
+                address = yield from retrying(
+                    self.env,
+                    self.policy,
+                    lambda _attempt: self._resolve_nsm_host(record),
+                    rng_stream="hns.backoff",
+                    stat="hns.find_nsm.retries",
+                )
+                return address
 
     def _resolve_nsm_host(self, record: NsmRecord) -> HostResolveCall:
         """Mappings 4-6: host name -> network address.
@@ -295,20 +323,23 @@ class HNS:
         5. (name service, HostAddress) -> NSM name  (meta lookup)
         6. the statically linked HostAddress NSM's native lookup.
         """
-        host_ns = yield from self.metastore.context_to_name_service(
-            record.host_context
-        )
-        yield from self.metastore.nsm_name_for(host_ns, HOST_ADDRESS_QC)
-        nsm = self._host_address_nsms.get(host_ns)
-        if nsm is None:
-            raise HnsError(
-                f"no statically linked HostAddress NSM for name service "
-                f"{host_ns!r} (needed to resolve {record.host_name})"
+        with self.env.obs.span(
+            "hns.resolve_host", host=record.host_name
+        ):
+            host_ns = yield from self.metastore.context_to_name_service(
+                record.host_context
             )
-        result = yield from nsm.query(
-            HNSName(record.host_context, record.host_name)
-        )
-        return NetworkAddress(typing.cast(str, result.value["address"]))
+            yield from self.metastore.nsm_name_for(host_ns, HOST_ADDRESS_QC)
+            nsm = self._host_address_nsms.get(host_ns)
+            if nsm is None:
+                raise HnsError(
+                    f"no statically linked HostAddress NSM for name service "
+                    f"{host_ns!r} (needed to resolve {record.host_name})"
+                )
+            result = yield from nsm.query(
+                HNSName(record.host_context, record.host_name)
+            )
+            return NetworkAddress(typing.cast(str, result.value["address"]))
 
     # ------------------------------------------------------------------
     # Circuit-breaker feedback

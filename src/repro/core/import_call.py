@@ -182,23 +182,36 @@ class HrpcImporter:
                 " or HrpcImporter.via_agent()"
             )
         env = self.env
-        env.stats.counter("hrpc.imports").increment()
-        start = env.now
-        # The fixed HRPC import machinery: component selection, stub
-        # instantiation, final marshalling of the Binding to the caller.
-        yield from self.client_host.cpu.compute(self.calibration.import_fixed_ms)
-        if self.agent_binding is not None:
-            binding = yield from self._import_via_agent(service_name, hns_name)
-        else:
-            binding = yield from self._import_direct(service_name, hns_name)
-        if not isinstance(binding, HRPCBinding):
-            raise HnsError(f"Import produced a non-binding {binding!r}")
-        env.stats.timer("hrpc.import_ms").record(env.now - start)
-        env.trace.emit(
-            "import",
-            f"Import({service_name}, {hns_name}) -> {binding.describe()}",
-        )
-        return binding
+        with env.obs.span(
+            "hrpc.import",
+            service=service_name,
+            name=str(hns_name),
+            mode="agent" if self.agent_binding is not None else "direct",
+        ):
+            env.stats.counter("hrpc.imports").increment()
+            start = env.now
+            # The fixed HRPC import machinery: component selection, stub
+            # instantiation, final marshalling of the Binding to the
+            # caller.
+            yield from self.client_host.cpu.compute(
+                self.calibration.import_fixed_ms
+            )
+            if self.agent_binding is not None:
+                binding = yield from self._import_via_agent(
+                    service_name, hns_name
+                )
+            else:
+                binding = yield from self._import_direct(
+                    service_name, hns_name
+                )
+            if not isinstance(binding, HRPCBinding):
+                raise HnsError(f"Import produced a non-binding {binding!r}")
+            env.stats.timer("hrpc.import_ms").record(env.now - start)
+            env.trace.emit(
+                "import",
+                f"Import({service_name}, {hns_name}) -> {binding.describe()}",
+            )
+            return binding
 
     # ------------------------------------------------------------------
     def _import_via_agent(
@@ -309,9 +322,17 @@ def serve_agent(
 
     def import_proc(ctx, service_name: str, hns_name_text: str):
         hns_name = HNSName.parse(hns_name_text)
-        nsm_binding = yield from hns.find_nsm(hns_name, BINDING_QC)
-        result = yield from nsm_stub.call(nsm_binding, hns_name, service=service_name)
-        return result_to_binding(result)
+        # The agent-side root: the client's span context does not cross
+        # the simulated wire, so the agent's work traces as its own
+        # trace rooted here.
+        with hns.env.obs.span(
+            "hns.agent_import", service=service_name, name=hns_name_text
+        ):
+            nsm_binding = yield from hns.find_nsm(hns_name, BINDING_QC)
+            result = yield from nsm_stub.call(
+                nsm_binding, hns_name, service=service_name
+            )
+            return result_to_binding(result)
 
     server.program(program_name).procedure("Import", import_proc)
     return program_name

@@ -38,6 +38,9 @@ from repro.bind import (
     RRType,
 )
 from repro.core.errors import ContextNotFound, HnsError, NsmNotFound
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.span import SpanLike
 from repro.harness.calibration import Calibration, DEFAULT_CALIBRATION
 from repro.hrpc.suites import suite_named
 from repro.net.addresses import Endpoint
@@ -246,29 +249,40 @@ class MetaStore:
 
     def context_to_name_service(self, context: str) -> typing.Generator:
         """Mapping 1: context -> name service name."""
-        try:
-            fields = yield from self._lookup_fields(f"{context}.ctx.{META_ORIGIN}")
-        except NameNotFound as err:
-            raise ContextNotFound(context) from err
-        return fields["ns"]
+        with self.env.obs.span(
+            "meta.context_to_ns", mapping=1, context=context
+        ) as span:
+            try:
+                fields = yield from self._lookup_fields(
+                    f"{context}.ctx.{META_ORIGIN}"
+                )
+            except NameNotFound as err:
+                raise ContextNotFound(context) from err
+            span.set(ns=fields["ns"])
+            return fields["ns"]
 
     def nsm_name_for(self, name_service: str, query_class: str) -> typing.Generator:
         """Mapping 2: (name service, query class) -> NSM name."""
         owner = f"{query_class}.{name_service}.q.{META_ORIGIN}"
-        try:
-            fields = yield from self._lookup_fields(owner)
-        except NameNotFound as err:
-            raise NsmNotFound(f"{query_class} on {name_service}") from err
-        return fields["nsm"]
+        with self.env.obs.span(
+            "meta.nsm_name", mapping=2, ns=name_service, query_class=query_class
+        ) as span:
+            try:
+                fields = yield from self._lookup_fields(owner)
+            except NameNotFound as err:
+                raise NsmNotFound(f"{query_class} on {name_service}") from err
+            span.set(nsm=fields["nsm"])
+            return fields["nsm"]
 
     def nsm_record(self, nsm_name: str) -> typing.Generator:
         """Mapping 3: NSM name -> NSM binding information."""
         owner = f"{nsm_name}.nsm.{META_ORIGIN}"
-        try:
-            records = yield from self.resolver.lookup(owner, RRType.UNSPEC)
-        except NameNotFound as err:
-            raise NsmNotFound(nsm_name) from err
-        return NsmRecord.from_fields(nsm_name, records[0].data)
+        with self.env.obs.span("meta.nsm_record", mapping=3, nsm=nsm_name):
+            try:
+                records = yield from self.resolver.lookup(owner, RRType.UNSPEC)
+            except NameNotFound as err:
+                raise NsmNotFound(nsm_name) from err
+            return NsmRecord.from_fields(nsm_name, records[0].data)
 
     def find_nsm_bundle(
         self, context: str, query_class: str
@@ -282,6 +296,17 @@ class MetaStore:
         chain on the earlier answers server-side.  Fully cached prefixes
         are probed locally, so a warm client sends nothing at all.
         """
+        with self.env.obs.span(
+            "meta.bundle", context=context, query_class=query_class
+        ) as span:
+            result = yield from self._find_nsm_bundle(
+                context, query_class, span
+            )
+            return result
+
+    def _find_nsm_bundle(
+        self, context: str, query_class: str, span: "SpanLike"
+    ) -> typing.Generator:
         ctx_owner = f"{context}.ctx.{META_ORIGIN}"
         ns_name: typing.Optional[str] = None
         nsm_name: typing.Optional[str] = None
@@ -310,6 +335,7 @@ class MetaStore:
             except NameNotFound as err:
                 raise NsmNotFound(nsm_name) from err
             if records is not None:
+                span.set(ns=ns_name, nsm=nsm_name, cached=True)
                 return (
                     ns_name,
                     nsm_name,
@@ -369,6 +395,7 @@ class MetaStore:
         elif stage == 1:
             nsm_name = decode_fields(answers[0].records[0].data)["nsm"]
         assert ns_name is not None and nsm_name is not None
+        span.set(ns=ns_name, nsm=nsm_name, cached=False)
         nsm_answer = answers[-1]
         return (
             ns_name,
@@ -398,8 +425,9 @@ class MetaStore:
         the statically-linked host-address NSM path.
         """
         owner = f"{self.host_label(host_name)}.addr.{META_ORIGIN}"
-        fields = yield from self._lookup_fields(owner)
-        return fields["addr"]
+        with self.env.obs.span("meta.host_address", host=host_name):
+            fields = yield from self._lookup_fields(owner)
+            return fields["addr"]
 
     # ------------------------------------------------------------------
     # Registration (dynamic updates to the modified BIND)

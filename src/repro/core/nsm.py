@@ -34,6 +34,9 @@ from repro.net.host import Host
 from repro.resolution import FastPathPolicy
 from repro.sim.events import Event
 
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.span import SpanLike
+
 
 @dataclasses.dataclass
 class NsmResult:
@@ -131,11 +134,27 @@ class NamingSemanticsManager:
 
         Returns an :class:`NsmResult`.
         """
+        with self.env.obs.span(
+            "nsm.query",
+            nsm=self.name,
+            query_class=self.query_class,
+            name=str(hns_name),
+        ) as span:
+            result = yield from self._query(hns_name, params, span)
+            return result
+
+    def _query(
+        self,
+        hns_name: HNSName,
+        params: typing.Mapping[str, object],
+        span: "SpanLike",
+    ) -> typing.Generator:
         if self.cache is not None:
             key = self._cache_key(hns_name, params)
             entry, probe_cost = self.cache.probe(key)
             yield from self.host.cpu.compute(probe_cost)
             if entry is not None:
+                span.set(outcome="hit")
                 yield from self.host.cpu.compute(
                     self.cache.hit_cost(entry) + self.cache_hit_extra_ms
                 )
@@ -151,6 +170,7 @@ class NamingSemanticsManager:
                 flight = self._flights.get(key)
                 if flight is not None:
                     # Park on the leader's native call; pay the copy.
+                    span.set(outcome="coalesced")
                     self.cache.record_coalesced()
                     value = yield flight
                     yield from self.host.cpu.compute(
@@ -162,6 +182,7 @@ class NamingSemanticsManager:
                         dict(typing.cast(dict, value)),
                         from_cache=True,
                     )
+                span.set(outcome="native", role="leader")
                 event = self.env.event()
                 event.defuse()  # followers may be zero
                 self._flights[key] = event
@@ -176,8 +197,10 @@ class NamingSemanticsManager:
                 self._flights.pop(key, None)
                 event.succeed(result.value)
                 return result
+            span.set(outcome="native")
             result = yield from self._native_query(hns_name, params, key)
             return result
+        span.set(outcome="native")
         result = yield from self._native_query(hns_name, params, None)
         return result
 
@@ -188,20 +211,23 @@ class NamingSemanticsManager:
         key: typing.Optional[object],
     ) -> typing.Generator:
         """The cache-miss path: translate, resolve natively, insert."""
-        self.env.stats.counter(f"nsm.{self.name}.native_queries").increment()
-        if self.translate_cost_ms:
-            yield from self.host.cpu.compute(self.translate_cost_ms)
-        value, ttl_ms = yield from self.resolve(hns_name, params)
-        if self.standardize_cost_ms:
-            yield from self.host.cpu.compute(self.standardize_cost_ms)
-        result = NsmResult(self.query_class, dict(value))
-        if self.cache is not None and key is not None:
-            insert_cost = self.cache.insert(key, dict(value), 1, ttl_ms)
-            yield from self.host.cpu.compute(insert_cost)
-        self.env.trace.emit(
-            "nsm", f"{self.name}: resolved {hns_name}", params=dict(params)
-        )
-        return result
+        with self.env.obs.span("nsm.native", nsm=self.name):
+            self.env.stats.counter(
+                f"nsm.{self.name}.native_queries"
+            ).increment()
+            if self.translate_cost_ms:
+                yield from self.host.cpu.compute(self.translate_cost_ms)
+            value, ttl_ms = yield from self.resolve(hns_name, params)
+            if self.standardize_cost_ms:
+                yield from self.host.cpu.compute(self.standardize_cost_ms)
+            result = NsmResult(self.query_class, dict(value))
+            if self.cache is not None and key is not None:
+                insert_cost = self.cache.insert(key, dict(value), 1, ttl_ms)
+                yield from self.host.cpu.compute(insert_cost)
+            self.env.trace.emit(
+                "nsm", f"{self.name}: resolved {hns_name}", params=dict(params)
+            )
+            return result
 
     def _maybe_refresh(
         self,
@@ -228,8 +254,11 @@ class NamingSemanticsManager:
         defer_ms = self.env.rng.stream("nsm.refresh_jitter").uniform(
             0.0, max(0.0, entry.expires_at - self.env.now) / 2.0
         )
+        # Causal link: the renewal runs as its own process, so the span
+        # context of the triggering hit must travel explicitly.
+        parent = self.env.obs.current()
         self.env.process(
-            self._refresh(event, key, hns_name, params, defer_ms)
+            self._refresh(event, key, hns_name, params, defer_ms, parent)
         )
 
     def _refresh(
@@ -239,23 +268,29 @@ class NamingSemanticsManager:
         hns_name: HNSName,
         params: typing.Dict[str, object],
         defer_ms: float = 0.0,
+        parent: typing.Optional["SpanLike"] = None,
     ) -> typing.Generator:
         """Background renewal: silent on failure (the entry simply ages
         out and serve-stale takes over); coalesced followers do see the
         failure, as for them it is a real lookup."""
         if defer_ms > 0:
             yield self.env.timeout(defer_ms)
-        try:
-            result = yield from self._native_query(hns_name, params, key)
-        except Exception as err:
+        with self.env.obs.span(
+            "nsm.refresh", parent=parent, nsm=self.name
+        ) as span:
+            try:
+                result = yield from self._native_query(hns_name, params, key)
+            except Exception as err:
+                span.set(outcome="failed")
+                self._flights.pop(key, None)
+                event.fail(err)
+                self.env.stats.counter(
+                    f"nsm.{self.name}.refresh_failures"
+                ).increment()
+                return
+            span.set(outcome="renewed")
             self._flights.pop(key, None)
-            event.fail(err)
-            self.env.stats.counter(
-                f"nsm.{self.name}.refresh_failures"
-            ).increment()
-            return
-        self._flights.pop(key, None)
-        event.succeed(result.value)
+            event.succeed(result.value)
 
 
 # ----------------------------------------------------------------------

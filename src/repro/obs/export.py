@@ -1,0 +1,184 @@
+"""Trace exporters: JSON, Chrome ``trace_event`` (Perfetto), text.
+
+Three consumers, three formats:
+
+- :func:`trace_to_json` / :func:`write_json` — the raw span data, for
+  scripts and tests;
+- :func:`chrome_trace` / :func:`write_chrome_trace` — Chrome's
+  ``trace_event`` JSON, loadable in ``ui.perfetto.dev`` (or
+  ``chrome://tracing``): one Perfetto *process* per trace, one *thread*
+  per simulated process, complete (``ph: "X"``) events with simulated
+  microsecond timestamps;
+- :func:`render_trace` — an indented text tree of one trace, with the
+  critical-path steps marked, for terminals and CI logs.
+
+Exporters only read finished spans; they are safe to call mid-run.
+"""
+
+from __future__ import annotations
+
+import json
+import typing
+
+from repro.obs.critical_path import CriticalPath, _describe_attrs
+from repro.obs.span import AttrValue, Observability, Span
+
+
+def _span_to_json(span: Span) -> typing.Dict[str, object]:
+    return {
+        "trace_id": f"{span.trace_id:012x}",
+        "span_id": span.span_id,
+        "parent_id": span.parent_id,
+        "name": span.name,
+        "start_ms": span.start_ms,
+        "end_ms": span.end_ms,
+        "duration_ms": span.duration_ms,
+        "process": span.process,
+        "status": span.status,
+        "error": span.error,
+        "attrs": {k: _jsonable(v) for k, v in sorted(span.attrs.items())},
+    }
+
+
+def _jsonable(value: AttrValue) -> object:
+    if value is None or isinstance(value, (str, int, float, bool)):
+        return value
+    return str(value)
+
+
+def trace_to_json(obs: Observability) -> typing.Dict[str, object]:
+    """All finished traces as one JSON-able document."""
+    traces = []
+    for trace_id, spans in obs.traces().items():
+        traces.append(
+            {
+                "trace_id": f"{trace_id:012x}",
+                "spans": [_span_to_json(s) for s in spans],
+            }
+        )
+    return {"traces": traces, "dropped_spans": obs.dropped}
+
+
+def write_json(obs: Observability, path: str) -> int:
+    """Write :func:`trace_to_json` to ``path``; returns the span count."""
+    document = trace_to_json(obs)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(document, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return len(obs.spans)
+
+
+# ----------------------------------------------------------------------
+# Chrome trace_event / Perfetto
+# ----------------------------------------------------------------------
+def chrome_trace(obs: Observability) -> typing.Dict[str, object]:
+    """Finished spans as a Chrome ``trace_event`` document.
+
+    Each trace becomes a Perfetto process (pid), each simulated process
+    within it a thread (tid), so concurrent legs of one trace render as
+    parallel tracks rather than corrupting each other's nesting.
+    Timestamps are simulated milliseconds expressed in microseconds,
+    the unit the format requires.
+    """
+    events: typing.List[typing.Dict[str, object]] = []
+    for pid, (trace_id, spans) in enumerate(obs.traces().items(), start=1):
+        events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "args": {"name": f"trace {trace_id:012x}"},
+            }
+        )
+        tids: typing.Dict[str, int] = {}
+        for span in spans:
+            if span.end_ms is None:
+                continue
+            tid = tids.get(span.process)
+            if tid is None:
+                tid = len(tids) + 1
+                tids[span.process] = tid
+                events.append(
+                    {
+                        "name": "thread_name",
+                        "ph": "M",
+                        "pid": pid,
+                        "tid": tid,
+                        "args": {"name": span.process},
+                    }
+                )
+            events.append(
+                {
+                    "name": span.name,
+                    "cat": span.name.split(".", 1)[0],
+                    "ph": "X",
+                    "ts": span.start_ms * 1000.0,
+                    "dur": span.duration_ms * 1000.0,
+                    "pid": pid,
+                    "tid": tid,
+                    "args": {
+                        "trace_id": f"{span.trace_id:012x}",
+                        "span_id": span.span_id,
+                        "parent_id": span.parent_id,
+                        "status": span.status,
+                        **{
+                            k: _jsonable(v)
+                            for k, v in sorted(span.attrs.items())
+                        },
+                    },
+                }
+            )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(obs: Observability, path: str) -> int:
+    """Write :func:`chrome_trace` to ``path``; returns the event count."""
+    document = chrome_trace(obs)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(document, fh, sort_keys=True)
+        fh.write("\n")
+    return len(typing.cast(list, document["traceEvents"]))
+
+
+# ----------------------------------------------------------------------
+# Text rendering
+# ----------------------------------------------------------------------
+def render_trace(
+    spans: typing.Sequence[Span],
+    critical_path: typing.Optional[CriticalPath] = None,
+) -> str:
+    """An indented text tree of one trace's finished spans.
+
+    Spans on ``critical_path`` (when given) are marked with ``*`` — the
+    flame view and the blocking chain in one listing.
+    """
+    finished = [s for s in spans if s.end_ms is not None]
+    if not finished:
+        return "(no finished spans)"
+    on_path: typing.Set[int] = set()
+    if critical_path is not None:
+        on_path = {step.span.span_id for step in critical_path.steps}
+    children: typing.Dict[typing.Optional[int], typing.List[Span]] = {}
+    ids = {s.span_id for s in finished}
+    for span in finished:
+        parent = span.parent_id if span.parent_id in ids else None
+        children.setdefault(parent, []).append(span)
+    for group in children.values():
+        group.sort(key=lambda s: (s.start_ms, s.span_id))
+    lines: typing.List[str] = []
+
+    def emit(span: Span, depth: int) -> None:
+        mark = "*" if span.span_id in on_path else " "
+        detail = _describe_attrs(span)
+        status = "" if span.status == "ok" else f" [{span.status}: {span.error}]"
+        lines.append(
+            f"{mark} {'  ' * depth}{span.name}  "
+            f"{span.start_ms:9.1f} +{span.duration_ms:8.1f} ms"
+            f"{'  ' + detail if detail else ''}{status}"
+        )
+        for child in children.get(span.span_id, []):
+            emit(child, depth + 1)
+
+    for root in children.get(None, []):
+        emit(root, 0)
+    return "\n".join(lines)

@@ -1,0 +1,365 @@
+"""Causal spans over the resolution pipeline.
+
+A :class:`Span` is one timed step of a resolution — a ``FindNSM``, one
+meta mapping, one replica leg — carrying a trace id shared by every
+span of the same logical operation and a parent link that records *who
+was waiting on it*.  The paper's "six sequential mappings" then stops
+being prose: it is the blocking chain of a traced cold ``FindNSM``
+(:mod:`repro.obs.critical_path`).
+
+Determinism contract (the same bar :class:`~repro.sim.kernel.
+KernelMonitor` meets):
+
+- **Off by default, ~zero when off.**  ``Observability.span`` returns a
+  shared no-op context manager unless tracing is enabled — one attribute
+  check per instrumentation site, no allocation.
+- **Digest-identical when on.**  Spans never emit trace records, never
+  touch stats *counters* (they may feed histograms/timers, which are
+  outside the determinism digest), never schedule events, and never
+  charge CPU; trace ids come from a dedicated named RNG stream
+  (``obs.ids``) so no other stream's draw sequence moves.  Enabling
+  tracing therefore cannot change a run's trajectory, which
+  ``python -m repro.analysis --determinism`` verifies on every
+  registered scenario.
+
+Context propagation rides the generator call chain: ``with
+env.obs.span(...)`` inside a process generator stays open across its
+yields, and nested instrumentation finds it as the current span of the
+active process.  Work handed to *another* process (hedged replica legs,
+refresh-ahead renewals) must capture ``env.obs.current()`` at spawn
+time and pass it as ``parent=`` explicitly — a new process starts with
+an empty span stack.
+"""
+
+from __future__ import annotations
+
+import typing
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.metrics import SpanMetrics
+    from repro.sim.kernel import Environment
+    from repro.sim.process import Process
+
+#: Attribute values instrumentation may attach to a span.
+AttrValue = typing.Union[str, int, float, bool, None]
+
+#: sentinel distinguishing "inherit the current span" from an explicit
+#: ``parent=None`` (which forces a new root)
+_INHERIT = object()
+
+
+class NullSpan:
+    """The do-nothing span: what disabled or sampled-out sites get.
+
+    The shared :data:`NULL_SPAN` instance absorbs ``set`` and context
+    management without allocating.  An *owned* instance (``obs`` set)
+    additionally holds a place on the process span stack so that
+    descendants of an unsampled root resolve to it — and therefore
+    no-op too — instead of starting fresh traces.
+    """
+
+    __slots__ = ("_obs",)
+
+    #: no-op spans never carry identity
+    trace_id = 0
+    span_id = 0
+    parent_id: typing.Optional[int] = None
+    name = ""
+    recording = False
+
+    def __init__(self, obs: typing.Optional["Observability"] = None):
+        self._obs = obs
+
+    def set(self, **attrs: AttrValue) -> None:
+        """Discard ``attrs``."""
+
+    def __enter__(self) -> "NullSpan":
+        if self._obs is not None:
+            self._obs._push(self)
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        if self._obs is not None:
+            self._obs._pop(self)
+
+
+#: the shared stackless no-op span
+NULL_SPAN = NullSpan()
+
+#: Either a real recording span or a no-op stand-in: what
+#: :meth:`Observability.span` hands to instrumentation sites.
+SpanLike = typing.Union["Span", NullSpan]
+
+
+class Span:
+    """One timed, attributed step of a trace.
+
+    Use as a context manager; the span opens at ``__enter__`` and
+    closes (recording its end time and any in-flight exception) at
+    ``__exit__``.  Times are simulated milliseconds from ``env.now``.
+    """
+
+    __slots__ = (
+        "trace_id",
+        "span_id",
+        "parent_id",
+        "name",
+        "start_ms",
+        "end_ms",
+        "attrs",
+        "status",
+        "error",
+        "process",
+        "_obs",
+    )
+
+    #: real spans record; the shared NullSpan does not
+    recording = True
+
+    def __init__(
+        self,
+        obs: "Observability",
+        trace_id: int,
+        span_id: int,
+        parent_id: typing.Optional[int],
+        name: str,
+        start_ms: float,
+        process: str,
+        attrs: typing.Dict[str, AttrValue],
+    ):
+        self._obs = obs
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        self.start_ms = start_ms
+        self.end_ms: typing.Optional[float] = None
+        self.process = process
+        self.attrs = attrs
+        self.status = "ok"
+        self.error = ""
+
+    # ------------------------------------------------------------------
+    def set(self, **attrs: AttrValue) -> None:
+        """Attach (or overwrite) typed attributes."""
+        self.attrs.update(attrs)
+
+    @property
+    def duration_ms(self) -> float:
+        """Span duration; 0.0 while still open."""
+        if self.end_ms is None:
+            return 0.0
+        return self.end_ms - self.start_ms
+
+    @property
+    def finished(self) -> bool:
+        return self.end_ms is not None
+
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "Span":
+        self._obs._push(self)
+        return self
+
+    def __exit__(
+        self,
+        exc_type: typing.Optional[type],
+        exc: typing.Optional[BaseException],
+        tb: object,
+    ) -> None:
+        self.end_ms = self._obs.env.now
+        if exc is not None and self.status == "ok":
+            self.status = "error"
+            self.error = type(exc).__name__
+        self._obs._pop(self)
+        self._obs._record(self)
+
+    def __repr__(self) -> str:
+        end = f"{self.end_ms:.3f}" if self.end_ms is not None else "open"
+        return (
+            f"Span({self.name!r}, trace={self.trace_id:x}, "
+            f"id={self.span_id}, parent={self.parent_id}, "
+            f"[{self.start_ms:.3f}..{end}], {self.status})"
+        )
+
+
+class Observability:
+    """Per-environment span collector: ``env.obs``.
+
+    Off by default.  :meth:`enable` turns span collection on, with
+    optional deterministic root sampling (``sample_every=n`` keeps every
+    n-th root trace, counted in creation order) and an optional
+    :class:`~repro.obs.metrics.SpanMetrics` pipeline that folds finished
+    spans into the stats registry's histograms.
+    """
+
+    #: Test hook: when True, environments construct with tracing
+    #: already enabled.  The determinism checker flips this to prove
+    #: that a fully traced run replays the untraced digest exactly.
+    default_enabled: typing.ClassVar[bool] = False
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        self.enabled = bool(type(self).default_enabled)
+        #: keep every ``sample_every``-th root trace (1 = keep all)
+        self.sample_every = 1
+        #: hard cap on retained finished spans (drops count below)
+        self.max_spans = 100_000
+        #: spans dropped once :attr:`max_spans` was reached
+        self.dropped = 0
+        #: finished spans, in completion order
+        self.spans: typing.List[Span] = []
+        #: optional metrics pipeline fed on every finished span
+        self.metrics: typing.Optional["SpanMetrics"] = None
+        #: per-process open-span stacks; keyed by the Process object,
+        #: accessed only by identity (never iterated) so insertion
+        #: order cannot leak into the run
+        self._stacks: typing.Dict["Process", typing.List[SpanLike]] = {}
+        self._global_stack: typing.List[SpanLike] = []
+        self._next_span_id = 1
+        self._roots_seen = 0
+
+    # ------------------------------------------------------------------
+    # Control
+    # ------------------------------------------------------------------
+    def enable(
+        self,
+        sample_every: int = 1,
+        metrics: typing.Optional["SpanMetrics"] = None,
+    ) -> None:
+        """Turn span collection on (idempotent)."""
+        if sample_every < 1:
+            raise ValueError("sample_every must be >= 1")
+        self.enabled = True
+        self.sample_every = sample_every
+        if metrics is not None:
+            self.metrics = metrics
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    def clear(self) -> None:
+        """Drop all finished spans (open spans keep recording)."""
+        self.spans = []
+        self.dropped = 0
+
+    # ------------------------------------------------------------------
+    # Span creation
+    # ------------------------------------------------------------------
+    def span(
+        self,
+        name: str,
+        /,
+        parent: typing.Union[SpanLike, None, object] = _INHERIT,
+        **attrs: AttrValue,
+    ) -> SpanLike:
+        """Open a span (use as a context manager).
+
+        ``name`` is positional-only so instrumentation can attach a
+        ``name=...`` *attribute* (e.g. the HNS name being resolved).
+
+        With no explicit ``parent``, the span nests under the current
+        span of the active process; with none open it starts a new
+        trace (a *root*), subject to sampling.  Pass ``parent=`` when
+        the causal parent lives in another process — e.g. a hedged
+        replica leg's parent is the exchange that launched it.
+        """
+        if not self.enabled:
+            return NULL_SPAN
+        if parent is _INHERIT:
+            parent = self.current()
+        if isinstance(parent, NullSpan):
+            # Descendant of a sampled-out root: stay silent, and do not
+            # hold a stack slot (the root's own NullSpan already does).
+            return NULL_SPAN
+        parent_span = typing.cast(typing.Optional[Span], parent)
+        if parent_span is None:
+            self._roots_seen += 1
+            if (self._roots_seen - 1) % self.sample_every != 0:
+                return NullSpan(self)
+            trace_id = self.env.rng.stream("obs.ids").getrandbits(48)
+            parent_id = None
+        else:
+            trace_id = parent_span.trace_id
+            parent_id = parent_span.span_id
+        span_id = self._next_span_id
+        self._next_span_id += 1
+        return Span(
+            obs=self,
+            trace_id=trace_id,
+            span_id=span_id,
+            parent_id=parent_id,
+            name=name,
+            start_ms=self.env.now,
+            process=self._process_name(),
+            attrs=dict(attrs),
+        )
+
+    def current(self) -> typing.Optional[SpanLike]:
+        """The innermost open span of the active process, if any."""
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    # ------------------------------------------------------------------
+    # Retrieval
+    # ------------------------------------------------------------------
+    def traces(self) -> typing.Dict[int, typing.List[Span]]:
+        """trace id -> finished spans, in completion order."""
+        grouped: typing.Dict[int, typing.List[Span]] = {}
+        for span in self.spans:
+            grouped.setdefault(span.trace_id, []).append(span)
+        return grouped
+
+    def trace_spans(self, trace_id: int) -> typing.List[Span]:
+        """The finished spans of one trace, in completion order."""
+        return [s for s in self.spans if s.trace_id == trace_id]
+
+    def roots(self) -> typing.List[Span]:
+        """Finished root spans (no parent), in completion order."""
+        return [s for s in self.spans if s.parent_id is None]
+
+    def spans_named(self, name: str) -> typing.List[Span]:
+        """Finished spans called ``name``, in completion order."""
+        return [s for s in self.spans if s.name == name]
+
+    # ------------------------------------------------------------------
+    # Stack plumbing (Span/NullSpan only)
+    # ------------------------------------------------------------------
+    def _stack(self) -> typing.List[SpanLike]:
+        process = self.env.active_process
+        if process is None:
+            return self._global_stack
+        stack = self._stacks.get(process)
+        if stack is None:
+            stack = []
+            self._stacks[process] = stack
+        return stack
+
+    def _push(self, span: SpanLike) -> None:
+        self._stack().append(span)
+
+    def _pop(self, span: SpanLike) -> None:
+        stack = self._stack()
+        if stack and stack[-1] is span:
+            stack.pop()
+        elif span in stack:  # unwound out of order: drop through it
+            while stack and stack[-1] is not span:
+                stack.pop()
+            if stack:
+                stack.pop()
+        process = self.env.active_process
+        if process is not None and not stack:
+            self._stacks.pop(process, None)
+
+    def _record(self, span: Span) -> None:
+        if len(self.spans) >= self.max_spans:
+            self.dropped += 1
+            return
+        self.spans.append(span)
+        if self.metrics is not None:
+            self.metrics.observe(span)
+
+    def _process_name(self) -> str:
+        process = self.env.active_process
+        if process is None:
+            return "main"
+        return getattr(process, "name", None) or "process"

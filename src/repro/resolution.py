@@ -329,7 +329,8 @@ def retrying(
     attempts = policy.attempts if policy is not None else 1
     for i in range(attempts):
         try:
-            result = yield from attempt(i)
+            with env.obs.span("resolution.attempt", op=rng_stream, attempt=i):
+                result = yield from attempt(i)
             return result
         except Exception as err:  # noqa: BLE001 - classified below
             if i == attempts - 1 or not classify(err):

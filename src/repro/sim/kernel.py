@@ -12,6 +12,7 @@ import heapq
 import itertools
 import typing
 
+from repro.obs.span import Observability
 from repro.sim.events import AllOf, AnyOf, Event, Timeout
 from repro.sim.process import Process, ProcessGenerator
 from repro.sim.rng import RngRegistry
@@ -76,6 +77,9 @@ class Environment:
         self.rng = RngRegistry(seed)
         self.trace = Tracer(self)
         self.stats = StatsRegistry(self)
+        #: Span-based causal tracing (:mod:`repro.obs`); off by default
+        #: and digest-neutral when enabled.
+        self.obs = Observability(self)
         #: Optional :class:`KernelMonitor`; None (the default) disables
         #: all instrumentation.
         self.monitor: typing.Optional[KernelMonitor] = None

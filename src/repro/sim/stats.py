@@ -26,6 +26,10 @@ class Counter:
             raise ValueError("counters only increase")
         self.value += amount
 
+    def snapshot(self) -> typing.Dict[str, int]:
+        """The counter's state as plain data."""
+        return {"value": self.value}
+
 
 class Timer:
     """Accumulates durations (ms) and summarises them."""
@@ -93,9 +97,31 @@ class Timer:
         var = sum((s - mean) ** 2 for s in self.samples) / (len(self.samples) - 1)
         return math.sqrt(var)
 
+    def snapshot(self) -> typing.Dict[str, float]:
+        """Summary statistics as plain data (empty-safe)."""
+        if not self.samples:
+            return {"count": 0.0, "total": 0.0}
+        return {
+            "count": float(self.count),
+            "total": self.total,
+            "mean": self.mean,
+            "min": self.minimum,
+            "max": self.maximum,
+            "p50": self.percentile(50),
+            "p99": self.percentile(99),
+            "stdev": self.stdev,
+        }
+
 
 class Histogram:
-    """Fixed-bucket histogram for latency distributions."""
+    """Fixed-bucket histogram for latency distributions.
+
+    Alongside the bucket counts it tracks the smallest and largest
+    recorded values, which anchor :meth:`percentile`'s interpolation —
+    without them an estimate could only name a bucket bound, and the
+    empty / single-sample / p0 / p100 edge cases would have no honest
+    answer at all.
+    """
 
     def __init__(self, name: str, bounds: typing.Sequence[float]):
         if not bounds or list(bounds) != sorted(bounds):
@@ -104,22 +130,89 @@ class Histogram:
         self.bounds = [float(b) for b in bounds]
         # One bucket per bound plus overflow.
         self.counts = [0] * (len(self.bounds) + 1)
+        self._min: typing.Optional[float] = None
+        self._max: typing.Optional[float] = None
 
-    def record(self, value: float) -> None:
+    def bucket_index(self, value: float) -> int:
+        """Index of the bucket ``value`` falls in (last = overflow)."""
         for i, bound in enumerate(self.bounds):
             if value <= bound:
-                self.counts[i] += 1
-                return
-        self.counts[-1] += 1
+                return i
+        return len(self.bounds)
+
+    def record(self, value: float) -> None:
+        self.counts[self.bucket_index(value)] += 1
+        if self._min is None or value < self._min:
+            self._min = value
+        if self._max is None or value > self._max:
+            self._max = value
 
     @property
     def total(self) -> int:
         return sum(self.counts)
 
+    @property
+    def minimum(self) -> float:
+        if self._min is None:
+            raise ValueError(f"histogram {self.name!r} has no samples")
+        return self._min
+
+    @property
+    def maximum(self) -> float:
+        if self._max is None:
+            raise ValueError(f"histogram {self.name!r} has no samples")
+        return self._max
+
+    def percentile(self, p: float) -> float:
+        """Estimated percentile, ``p`` in [0, 100].
+
+        Locates the bucket holding the requested rank and interpolates
+        linearly within it, clamped to the observed [min, max] — so an
+        empty histogram raises, a single sample is returned exactly for
+        any ``p``, p0/p100 return the true extremes, and the unbounded
+        overflow bucket reports the observed maximum instead of
+        infinity.
+        """
+        if not 0 <= p <= 100:
+            raise ValueError(f"percentile out of range: {p}")
+        total = self.total
+        if total == 0 or self._min is None or self._max is None:
+            raise ValueError(f"histogram {self.name!r} has no samples")
+        if p == 0:
+            return self._min
+        if p == 100:
+            return self._max
+        rank = (p / 100) * total
+        cumulative = 0
+        for i, count in enumerate(self.counts):
+            if count == 0:
+                continue
+            if cumulative + count >= rank:
+                lower = self.bounds[i - 1] if i > 0 else self._min
+                upper = (
+                    self.bounds[i] if i < len(self.bounds) else self._max
+                )
+                fraction = (rank - cumulative) / count
+                value = lower + fraction * (upper - lower)
+                return min(max(value, self._min), self._max)
+            cumulative += count
+        return self._max  # pragma: no cover - rank <= total always hits
+
     def buckets(self) -> typing.List[typing.Tuple[str, int]]:
         """(label, count) pairs including the overflow bucket."""
         labels = [f"<= {b:g}" for b in self.bounds] + [f"> {self.bounds[-1]:g}"]
         return list(zip(labels, self.counts))
+
+    def snapshot(self) -> typing.Dict[str, object]:
+        """Bucket counts and extremes as plain data (empty-safe)."""
+        data: typing.Dict[str, object] = {
+            "total": self.total,
+            "buckets": [list(pair) for pair in self.buckets()],
+        }
+        if self._min is not None and self._max is not None:
+            data["min"] = self._min
+            data["max"] = self._max
+        return data
 
 
 class StatsRegistry:
@@ -149,3 +242,11 @@ class StatsRegistry:
     def counters(self) -> typing.Dict[str, int]:
         """Snapshot of all counter values."""
         return {name: c.value for name, c in self._counters.items()}
+
+    def timers(self) -> typing.Dict[str, typing.Dict[str, float]]:
+        """Snapshot of all timers (name -> summary statistics)."""
+        return {name: t.snapshot() for name, t in self._timers.items()}
+
+    def histograms(self) -> typing.Dict[str, typing.Dict[str, object]]:
+        """Snapshot of all histograms (name -> buckets + extremes)."""
+        return {name: h.snapshot() for name, h in self._histograms.items()}

@@ -693,6 +693,33 @@ def _workload_scenario(seed: int) -> Environment:
     return env
 
 
+@scenario("traced_cold_import")
+def _traced_scenario(seed: int) -> Environment:
+    """A cold-then-warm Import with span tracing and metrics enabled.
+
+    The returned environment carries the spans (``env.obs.spans``) and
+    the ``obs.span.*`` histograms, so exporters and the critical-path
+    analyzer have something real to chew on.  Registered like any other
+    scenario, it also proves tracing survives the determinism gate.
+    """
+    from repro.core.names import HNSName
+    from repro.obs import SpanMetrics
+
+    testbed = build_testbed(seed=seed)
+    stack = build_stack(testbed, Arrangement.ALL_LOCAL)
+    env = testbed.env
+    env.trace.enabled = True
+    env.obs.enable(metrics=SpanMetrics(env))
+    name = HNSName(BIND_CONTEXT, "fiji.cs.washington.edu")
+
+    def do():
+        yield from stack.importer.import_binding(TARGET_SERVICE, name)
+
+    env.run(until=env.process(do()))
+    env.run(until=env.process(do()))
+    return env
+
+
 def iter_scenarios() -> typing.Iterator[typing.Tuple[str, typing.Callable]]:
     """Registered scenarios in a stable order."""
     for name in sorted(SCENARIOS):

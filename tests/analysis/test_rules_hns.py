@@ -185,6 +185,19 @@ def test_hns003_clean_literal_and_fstring_names():
     assert findings == []
 
 
+def test_hns003_accepts_the_obs_prefix():
+    # The observability pipeline registers histograms per span name;
+    # "obs" is a known subsystem (PR 5).
+    findings = _lint(
+        """
+        def record(self, span_name, bounds):
+            self.env.stats.histogram(f"obs.span.{span_name}", bounds)
+        """,
+        Hns003StatNameConvention,
+    )
+    assert findings == []
+
+
 def test_hns003_skips_dynamic_names_and_other_receivers():
     findings = _lint(
         """

@@ -1,0 +1,178 @@
+"""Critical-path extraction — including the paper's six mappings.
+
+The small tests drive hand-built span trees through the greedy walk;
+the acceptance test at the bottom traces a real cold Import on the full
+testbed and asserts the blocking chain reproduces the sequential
+mapping structure of the paper's Figure 2.1.
+"""
+
+import pytest
+
+from repro.core import Arrangement, HNSName
+from repro.obs import CriticalPath
+from repro.sim import Environment
+from repro.workloads import build_stack, build_testbed
+
+FIJI = HNSName("BIND-cs", "fiji.cs.washington.edu")
+
+
+def run(env, gen):
+    return env.run(until=env.process(gen))
+
+
+def traced(seed=1):
+    env = Environment(seed=seed)
+    env.obs.enable()
+    return env
+
+
+# ----------------------------------------------------------------------
+# The greedy backward walk
+# ----------------------------------------------------------------------
+def test_sequential_children_all_block_the_parent():
+    env = traced()
+
+    def work():
+        with env.obs.span("root"):
+            with env.obs.span("first"):
+                yield env.timeout(10.0)
+            with env.obs.span("second"):
+                yield env.timeout(20.0)
+
+    run(env, work())
+    path = CriticalPath.from_trace(env.obs.spans)
+    assert path.names() == ["root", "first", "second"]
+    assert path.total_ms == 30.0
+
+
+def test_overlapping_loser_falls_off_the_path():
+    env = traced()
+
+    def leg(label, delay, parent):
+        with env.obs.span("leg", parent=parent) as span:
+            span.set(which=label)
+            yield env.timeout(delay)
+
+    def work():
+        with env.obs.span("root") as root:
+            env.process(leg("fast", 10.0, root))
+            env.process(leg("slow", 30.0, root))
+            yield env.timeout(30.0)
+
+    run(env, work())
+    path = CriticalPath.from_trace(env.obs.spans)
+    # Both legs start together; only the one the root actually waited
+    # on (the later-ending) is on the blocking chain.
+    assert path.names() == ["root", "leg"]
+    assert path.steps[1].span.attrs["which"] == "slow"
+
+
+def test_self_ms_is_duration_minus_on_path_children():
+    env = traced()
+
+    def work():
+        with env.obs.span("root"):
+            yield env.timeout(5.0)
+            with env.obs.span("child"):
+                yield env.timeout(10.0)
+            yield env.timeout(5.0)
+
+    run(env, work())
+    path = CriticalPath.from_trace(env.obs.spans)
+    by_name = {step.span.name: step for step in path.steps}
+    assert by_name["root"].self_ms == pytest.approx(10.0)
+    assert by_name["child"].self_ms == pytest.approx(10.0)
+    assert by_name["root"].depth == 0
+    assert by_name["child"].depth == 1
+
+
+def test_contains_sequence_is_ordered_with_gaps():
+    env = traced()
+
+    def work():
+        with env.obs.span("a"):
+            with env.obs.span("b"):
+                yield env.timeout(1.0)
+            with env.obs.span("c"):
+                yield env.timeout(1.0)
+
+    run(env, work())
+    path = CriticalPath.from_trace(env.obs.spans)
+    assert path.contains_sequence(["a", "c"])
+    assert path.contains_sequence([])
+    assert not path.contains_sequence(["c", "a"])
+    assert not path.contains_sequence(["a", "z"])
+
+
+def test_from_trace_requires_finished_spans():
+    with pytest.raises(ValueError):
+        CriticalPath.from_trace([])
+
+
+def test_orphan_spans_fall_back_to_the_earliest_as_root():
+    env = traced()
+
+    def work():
+        with env.obs.span("root"):
+            with env.obs.span("child"):
+                yield env.timeout(2.0)
+
+    run(env, work())
+    child_only = env.obs.spans_named("child")
+    path = CriticalPath.from_trace(child_only)
+    assert path.root.name == "child"
+    assert path.names() == ["child"]
+
+
+def test_render_reports_totals_and_steps():
+    env = traced()
+
+    def work():
+        with env.obs.span("root") as span:
+            span.set(context="BIND-cs")
+            yield env.timeout(4.0)
+
+    run(env, work())
+    report = CriticalPath.from_trace(env.obs.spans).render()
+    assert "critical path: 4.0 ms over 1 spans" in report
+    assert "- root" in report
+    assert "(context=BIND-cs)" in report
+
+
+# ----------------------------------------------------------------------
+# Acceptance: the six sequential mappings, computed
+# ----------------------------------------------------------------------
+def test_cold_import_critical_path_reproduces_the_six_mappings():
+    """The blocking chain of a traced cold Import IS Figure 2.1.
+
+    Mappings 1-3 (context -> NS -> NSM name -> NSM record) run against
+    the meta store, host resolution recurses through mappings 1-2 for
+    the NSM host, and the NSM query itself closes the chain.
+    """
+    testbed = build_testbed(seed=5)
+    stack = build_stack(testbed, Arrangement.ALL_LOCAL)
+    env = testbed.env
+    env.obs.enable()
+    run(env, stack.importer.import_binding("DesiredService", FIJI))
+
+    roots = env.obs.roots()
+    assert len(roots) == 1, [r.name for r in roots]
+    assert roots[0].name == "hrpc.import"
+    # Every span of the cold import belongs to the one trace.
+    assert {s.trace_id for s in env.obs.spans} == {roots[0].trace_id}
+
+    path = CriticalPath.from_trace(env.obs.trace_spans(roots[0].trace_id))
+    assert path.contains_sequence(
+        [
+            "hrpc.import",
+            "hns.find_nsm",
+            "meta.context_to_ns",  # mapping 1
+            "meta.nsm_name",  # mapping 2
+            "meta.nsm_record",  # mapping 3
+            "meta.context_to_ns",  # host-address recursion
+            "meta.nsm_name",
+            "nsm.query",  # the NSM answers (mappings 4-6)
+        ]
+    ), path.render()
+    assert path.total_ms > 0.0
+    assert path.total_ms == pytest.approx(path.root.duration_ms)

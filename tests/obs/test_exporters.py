@@ -1,0 +1,139 @@
+"""Exporter shapes: JSON, Chrome trace_event, and the text tree."""
+
+import json
+
+from repro.obs import (
+    CriticalPath,
+    chrome_trace,
+    render_trace,
+    trace_to_json,
+    write_chrome_trace,
+    write_json,
+)
+from repro.sim import Environment
+
+
+def run(env, gen):
+    return env.run(until=env.process(gen))
+
+
+def small_trace(seed=1):
+    env = Environment(seed=seed)
+    env.obs.enable()
+
+    def work():
+        with env.obs.span("hns.find_nsm", context="BIND-cs") as root:
+            with env.obs.span("meta.context_to_ns"):
+                yield env.timeout(10.0)
+            yield env.timeout(5.0)
+        return root
+
+    root = run(env, work())
+    return env, root
+
+
+# ----------------------------------------------------------------------
+# JSON
+# ----------------------------------------------------------------------
+def test_trace_to_json_shapes_one_document_per_trace():
+    env, root = small_trace()
+    doc = trace_to_json(env.obs)
+    assert doc["dropped_spans"] == 0
+    (trace,) = doc["traces"]
+    assert trace["trace_id"] == f"{root.trace_id:012x}"
+    by_name = {s["name"]: s for s in trace["spans"]}
+    assert set(by_name) == {"hns.find_nsm", "meta.context_to_ns"}
+    json_root = by_name["hns.find_nsm"]
+    assert json_root["parent_id"] is None
+    assert json_root["start_ms"] == 0.0
+    assert json_root["end_ms"] == 15.0
+    assert json_root["duration_ms"] == 15.0
+    assert json_root["status"] == "ok"
+    assert json_root["attrs"] == {"context": "BIND-cs"}
+    child = by_name["meta.context_to_ns"]
+    assert child["parent_id"] == json_root["span_id"]
+    assert child["trace_id"] == trace["trace_id"]
+
+
+def test_write_json_round_trips(tmp_path):
+    env, _root = small_trace()
+    path = tmp_path / "spans.json"
+    count = write_json(env.obs, str(path))
+    assert count == 2
+    doc = json.loads(path.read_text())
+    assert len(doc["traces"][0]["spans"]) == 2
+
+
+# ----------------------------------------------------------------------
+# Chrome trace_event / Perfetto
+# ----------------------------------------------------------------------
+def test_chrome_trace_emits_metadata_and_complete_events():
+    env, root = small_trace()
+    doc = chrome_trace(env.obs)
+    assert doc["displayTimeUnit"] == "ms"
+    events = doc["traceEvents"]
+    metadata = [e for e in events if e["ph"] == "M"]
+    complete = [e for e in events if e["ph"] == "X"]
+    assert {e["name"] for e in metadata} == {"process_name", "thread_name"}
+    assert len(complete) == 2
+    by_name = {e["name"]: e for e in complete}
+    root_event = by_name["hns.find_nsm"]
+    # Simulated ms expressed in microseconds, categorized by subsystem.
+    assert root_event["ts"] == 0.0
+    assert root_event["dur"] == 15_000.0
+    assert root_event["cat"] == "hns"
+    assert by_name["meta.context_to_ns"]["cat"] == "meta"
+    assert root_event["args"]["trace_id"] == f"{root.trace_id:012x}"
+    # One Perfetto process per trace.
+    assert {e["pid"] for e in events} == {1}
+
+
+def test_chrome_trace_gives_each_trace_its_own_pid():
+    env = Environment(seed=2)
+    env.obs.enable()
+
+    def work():
+        with env.obs.span("first"):
+            yield env.timeout(1.0)
+        with env.obs.span("second"):
+            yield env.timeout(1.0)
+
+    run(env, work())
+    events = chrome_trace(env.obs)["traceEvents"]
+    assert {e["pid"] for e in events} == {1, 2}
+
+
+def test_write_chrome_trace_counts_events(tmp_path):
+    env, _root = small_trace()
+    path = tmp_path / "trace.json"
+    count = write_chrome_trace(env.obs, str(path))
+    doc = json.loads(path.read_text())
+    assert count == len(doc["traceEvents"]) == 4  # 2 metadata + 2 spans
+
+
+# ----------------------------------------------------------------------
+# Text tree
+# ----------------------------------------------------------------------
+def test_render_trace_indents_children_and_marks_the_path():
+    env, root = small_trace()
+    spans = env.obs.trace_spans(root.trace_id)
+    path = CriticalPath.from_trace(spans)
+    text = render_trace(spans, critical_path=path)
+    lines = text.splitlines()
+    assert lines[0].startswith("* hns.find_nsm")
+    assert "(context=BIND-cs)" in lines[0]
+    # The child is indented and on the path too.
+    assert lines[1].startswith("*   meta.context_to_ns")
+
+
+def test_render_trace_handles_empty_and_errored_spans():
+    assert render_trace([]) == "(no finished spans)"
+    env = Environment(seed=3)
+    env.obs.enable()
+    try:
+        with env.obs.span("doomed"):
+            raise RuntimeError("boom")
+    except RuntimeError:
+        pass
+    text = render_trace(env.obs.spans)
+    assert "[error: RuntimeError]" in text
