@@ -27,7 +27,11 @@ from repro.core.metastore import MetaStore
 from repro.core.nsms import BindHostAddressNSM
 from repro.harness import DEFAULT_CALIBRATION
 from repro.net import DatagramTransport, TransportTimeout
-from repro.resolution import DEFAULT_RESOLUTION_POLICY, ResolutionPolicy
+from repro.resolution import (
+    DEFAULT_RESOLUTION_POLICY,
+    PolicySet,
+    ResolutionPolicy,
+)
 from repro.workloads import build_testbed
 from repro.workloads.scenarios import BIND_NS
 
@@ -66,9 +70,9 @@ def raw_wire_hns(testbed, policy):
         raw,
         testbed.meta_endpoint,
         calibration=testbed.calibration,
-        policy=policy,
+        policies=PolicySet(resolution=policy),
     )
-    hns = HNS(metastore, calibration=testbed.calibration, policy=policy)
+    hns = HNS(metastore, calibration=testbed.calibration)
     hostaddr = BindHostAddressNSM(
         testbed.client,
         BIND_NS,

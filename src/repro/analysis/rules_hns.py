@@ -137,6 +137,8 @@ class Hns002WireMessageIdl(Rule):
 STAT_PREFIXES = frozenset(
     {
         "baseline",
+        # "bind" also hosts the write-pipeline families bind.update.*
+        # (batches, leases, NOTIFY fan-out) and per-server bind.<name>.*
         "bind",
         "broadcast",
         "cache",
@@ -148,6 +150,7 @@ STAT_PREFIXES = frozenset(
         "mail",
         "net",
         "obs",
+        # "nsm" also hosts nsm.lease.* (client-side lease renewal)
         "nsm",
         "portmapper",
         "rexec",

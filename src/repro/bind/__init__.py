@@ -26,8 +26,16 @@ from repro.bind.errors import (
 from repro.bind.messages import (
     IxfrRequest,
     IxfrResponse,
+    NotifyRequest,
+    NotifyResponse,
+    NotifySubscribeRequest,
+    NotifySubscribeResponse,
     QueryRequest,
     QueryResponse,
+    UpdateBatchRequest,
+    UpdateBatchResponse,
+    UpdateMode,
+    UpdateOp,
     UpdateRequest,
     UpdateResponse,
     XferRequest,
@@ -55,6 +63,10 @@ __all__ = [
     "IxfrResponse",
     "NameNotFound",
     "NotAuthoritative",
+    "NotifyRequest",
+    "NotifyResponse",
+    "NotifySubscribeRequest",
+    "NotifySubscribeResponse",
     "QueryRequest",
     "QueryResponse",
     "ReplicaScheduler",
@@ -63,6 +75,10 @@ __all__ = [
     "ResourceRecord",
     "RRType",
     "SecondaryBindServer",
+    "UpdateBatchRequest",
+    "UpdateBatchResponse",
+    "UpdateMode",
+    "UpdateOp",
     "UpdateRefused",
     "UpdateRequest",
     "UpdateResponse",

@@ -88,6 +88,53 @@ UPDATE_RESPONSE_IDL = StructType(
     [("status", U32Type()), ("serial", U32Type())],
 )
 
+UPDATE_OP_IDL = StructType(
+    "UpdateOp",
+    [
+        ("mode", U32Type()),
+        ("name", StringType(255)),
+        ("rtype", U32Type()),
+        # lease duration in ms granted with this operation (0 = none)
+        ("lease", U32Type()),
+        ("records", ArrayType(RR_IDL, 64)),
+    ],
+)
+
+UPDATE_BATCH_REQUEST_IDL = StructType(
+    "UpdateBatchRequest",
+    [("ops", ArrayType(UPDATE_OP_IDL, 64))],
+)
+
+UPDATE_BATCH_RESPONSE_IDL = StructType(
+    "UpdateBatchResponse",
+    [
+        ("status", U32Type()),
+        ("serial", U32Type()),
+        ("statuses", ArrayType(U32Type(), 64)),
+    ],
+)
+
+NOTIFY_REQUEST_IDL = StructType(
+    "NotifyRequest",
+    [("origin", StringType(255)), ("serial", U32Type())],
+)
+
+NOTIFY_RESPONSE_IDL = StructType("NotifyResponse", [("status", U32Type())])
+
+NOTIFY_SUBSCRIBE_REQUEST_IDL = StructType(
+    "NotifySubscribeRequest",
+    [
+        ("origin", StringType(255)),
+        ("address", StringType(64)),
+        ("port", U32Type()),
+    ],
+)
+
+NOTIFY_SUBSCRIBE_RESPONSE_IDL = StructType(
+    "NotifySubscribeResponse",
+    [("status", U32Type()), ("serial", U32Type())],
+)
+
 XFER_REQUEST_IDL = StructType("XferRequest", [("origin", StringType(255))])
 
 SERIAL_REQUEST_IDL = StructType("SerialRequest", [("origin", StringType(255))])
@@ -342,6 +389,145 @@ class UpdateResponse:
         return {"status": self.status, "serial": self.serial}
 
     idl_type = UPDATE_RESPONSE_IDL
+
+
+@dataclasses.dataclass(frozen=True)
+class UpdateOp:
+    """One operation of a batched dynamic update.
+
+    ``lease_ms > 0`` asks the primary to grant a lease: the binding is
+    retracted automatically unless re-asserted before the lease runs
+    out, and answers for it advertise a TTL capped to the remainder.
+    """
+
+    mode: int
+    name: DomainName
+    rtype: RRType
+    records: typing.Tuple[ResourceRecord, ...] = ()
+    lease_ms: float = 0.0
+
+    def to_idl(self) -> dict:
+        return {
+            "mode": self.mode,
+            "name": str(self.name),
+            "rtype": self.rtype.value,
+            "lease": int(self.lease_ms),
+            "records": [rr_to_idl(r) for r in self.records],
+        }
+
+    @classmethod
+    def from_idl(cls, value: typing.Mapping[str, object]) -> "UpdateOp":
+        return cls(
+            mode=typing.cast(int, value["mode"]),
+            name=DomainName(typing.cast(str, value["name"])),
+            rtype=RRType(value["rtype"]),
+            records=tuple(
+                rr_from_idl(v) for v in typing.cast(list, value["records"])
+            ),
+            lease_ms=float(typing.cast(int, value["lease"])),
+        )
+
+    idl_type = UPDATE_OP_IDL
+
+
+@dataclasses.dataclass
+class UpdateBatchRequest:
+    """Several coalesced update operations in one datagram."""
+
+    ops: typing.List[UpdateOp]
+
+    def to_idl(self) -> dict:
+        return {"ops": [op.to_idl() for op in self.ops]}
+
+    @classmethod
+    def from_idl(cls, value: typing.Mapping[str, object]) -> "UpdateBatchRequest":
+        return cls(
+            ops=[UpdateOp.from_idl(v) for v in typing.cast(list, value["ops"])]
+        )
+
+    idl_type = UPDATE_BATCH_REQUEST_IDL
+
+
+@dataclasses.dataclass
+class UpdateBatchResponse:
+    """Batch outcome: overall status, final serial, per-op statuses."""
+
+    status: int
+    serial: int
+    statuses: typing.List[int]
+
+    def to_idl(self) -> dict:
+        return {
+            "status": self.status,
+            "serial": self.serial,
+            "statuses": list(self.statuses),
+        }
+
+    idl_type = UPDATE_BATCH_RESPONSE_IDL
+
+
+@dataclasses.dataclass
+class NotifyRequest:
+    """Primary -> subscriber push: ``origin`` moved to ``serial``.
+
+    One-way; the subscriber pulls the delta through IXFR at its own
+    pace rather than trusting pushed payloads.
+    """
+
+    origin: DomainName
+    serial: int
+
+    def to_idl(self) -> dict:
+        return {"origin": str(self.origin), "serial": self.serial}
+
+    idl_type = NOTIFY_REQUEST_IDL
+
+
+@dataclasses.dataclass
+class NotifyResponse:
+    """Acknowledgement of a NOTIFY push (rarely waited on)."""
+
+    status: int
+
+    def to_idl(self) -> dict:
+        return {"status": self.status}
+
+    idl_type = NOTIFY_RESPONSE_IDL
+
+
+@dataclasses.dataclass
+class NotifySubscribeRequest:
+    """Ask the primary to push serial bumps for ``origin`` to us."""
+
+    origin: DomainName
+    address: str
+    port: int
+
+    def to_idl(self) -> dict:
+        return {
+            "origin": str(self.origin),
+            "address": self.address,
+            "port": self.port,
+        }
+
+    idl_type = NOTIFY_SUBSCRIBE_REQUEST_IDL
+
+
+@dataclasses.dataclass
+class NotifySubscribeResponse:
+    """Subscription outcome plus the zone's current serial.
+
+    The serial seeds the subscriber's IXFR baseline, so the first push
+    pulls exactly the changes since subscription time.
+    """
+
+    status: int
+    serial: int
+
+    def to_idl(self) -> dict:
+        return {"status": self.status, "serial": self.serial}
+
+    idl_type = NOTIFY_SUBSCRIBE_RESPONSE_IDL
 
 
 @dataclasses.dataclass

@@ -33,9 +33,15 @@ from repro.bind.messages import (
     BatchQuestion,
     IxfrRequest,
     IxfrResponse,
+    NotifyRequest,
+    NotifySubscribeRequest,
+    NotifySubscribeResponse,
     QueryRequest,
     QueryResponse,
+    UpdateBatchRequest,
+    UpdateBatchResponse,
     UpdateMode,
+    UpdateOp,
     UpdateRequest,
     UpdateResponse,
     XferRequest,
@@ -48,10 +54,17 @@ from repro.bind.zone import ZoneDelta
 from repro.harness.calibration import Calibration, DEFAULT_CALIBRATION
 from repro.net.addresses import Endpoint
 from repro.net.errors import NetworkError, is_transient
-from repro.net.host import Host
+from repro.net.host import Host, Service
 from repro.net.transport import Transport
 from repro.obs.span import NULL_SPAN
-from repro.resolution import FastPathPolicy, ReplicaPolicy, ResolutionPolicy
+from repro.resolution import (
+    _UNSET,
+    FastPathPolicy,
+    PolicySet,
+    ReplicaPolicy,
+    ResolutionPolicy,
+    merge_policies,
+)
 from repro.serial import HandcodedMarshaller, StubCompiler
 from repro.sim.events import Event
 
@@ -78,14 +91,30 @@ class BindResolver:
         name: str = "resolver",
         secondaries: typing.Sequence[Endpoint] = (),
         negative_ttl_ms: float = 0.0,
-        policy: typing.Optional[ResolutionPolicy] = None,
-        fast_path: typing.Optional[FastPathPolicy] = None,
-        replica_policy: typing.Optional[ReplicaPolicy] = None,
+        policy: typing.Any = _UNSET,
+        fast_path: typing.Any = _UNSET,
+        replica_policy: typing.Any = _UNSET,
+        policies: typing.Optional[PolicySet] = None,
     ):
         if marshalling not in ("handcoded", "generated"):
             raise ValueError(f"unknown marshalling style {marshalling!r}")
         if negative_ttl_ms < 0:
             raise ValueError("negative-cache TTL must be >= 0")
+        # Resolve the policy bundle once: a PolicySet base (all-None
+        # matches the historical kwarg defaults) with any legacy kwargs
+        # folded over it.  ``None`` uniformly means "that mechanism at
+        # its prototype .disabled() behaviour".
+        resolved = merge_policies(
+            policies if policies is not None else PolicySet(),
+            policy=policy,
+            fast_path=fast_path,
+            replica_policy=replica_policy,
+            caller="BindResolver",
+        )
+        self.policies = resolved
+        policy = resolved.resolution
+        fast_path = resolved.fast_path
+        replica_policy = resolved.replica
         self.host = host
         self.env = host.env
         self.transport = transport
@@ -124,6 +153,12 @@ class BindResolver:
             )
         #: origin -> serial of the last cache preload, for IXFR re-preload
         self._preload_serials: typing.Dict[str, int] = {}
+        #: where the primary's NOTIFY pushes land (bound on first use)
+        self._notify_endpoint: typing.Optional[Endpoint] = None
+        #: origin -> the serial our cache state reflects (IXFR baseline)
+        self._notify_serials: typing.Dict[str, int] = {}
+        #: origins with a NOTIFY-triggered delta pull in flight
+        self._notify_inflight: typing.Set[str] = set()
         #: in-flight single-flight fetches: cache key -> leader's event,
         #: carrying ``(result, record_count)`` when it resolves
         self._flights: typing.Dict[object, Event] = {}
@@ -889,6 +924,128 @@ class BindResolver:
         result = yield from self.update(UpdateMode.REPLACE, name, rtype, records)
         return result
 
+    def update_batch(
+        self, ops: typing.Sequence[UpdateOp]
+    ) -> typing.Generator:
+        """Send several dynamic-update operations in one datagram.
+
+        Returns ``(serial, statuses)`` — the zone's serial after the
+        batch and one status per operation.  Raises on the first failed
+        operation, like the single-op :meth:`update` would have.
+        """
+        ops = list(ops)
+        if not ops:
+            raise ValueError("empty update batch")
+        request = UpdateBatchRequest(ops)
+        request_bytes, marshal_cost = HandcodedMarshaller(
+            request.idl_type
+        ).encode(request.to_idl())
+        yield from self.host.cpu.compute(marshal_cost)
+        self.env.stats.counter(
+            f"bind.{self.name}.update_batches"
+        ).increment()
+        reply = yield from self.transport.request(
+            self.host, self.server, request, len(request_bytes)
+        )
+        if not isinstance(reply, UpdateBatchResponse):
+            raise BindError(f"unexpected reply {reply!r}")
+        if reply.status == STATUS_REFUSED:
+            raise UpdateRefused(
+                f"server at {self.server} does not accept dynamic updates"
+            )
+        for op, status in zip(ops, reply.statuses):
+            if status == STATUS_NXDOMAIN:
+                raise NameNotFound(f"no zone for {op.name}")
+            if status != STATUS_OK:
+                raise BindError(
+                    f"batched update of {op.name} failed with status {status}"
+                )
+        if reply.status != STATUS_OK:
+            raise BindError(f"update batch failed with status {reply.status}")
+        return reply.serial, list(reply.statuses)
+
+    # ------------------------------------------------------------------
+    # NOTIFY subscription: invalidation beyond TTL for this cache
+    # ------------------------------------------------------------------
+    def subscribe_notify(
+        self, origin: typing.Union[str, DomainName]
+    ) -> typing.Generator:
+        """Subscribe to the primary's NOTIFY push for ``origin``.
+
+        On each push past our serial the resolver pulls just the deltas
+        through the IXFR journal and installs them into the cache
+        (deletions invalidate their keys) — changed bindings stop being
+        served long before their TTL would have run out.  Returns the
+        zone serial the subscription starts from.
+        """
+        if self.cache is None:
+            raise ValueError("NOTIFY subscription requires a cache")
+        origin = DomainName(origin)
+        if self._notify_endpoint is None:
+            # Replies never route through port dispatch, so an
+            # ephemeral-range port is safe to claim for the listener.
+            port = self.host.ephemeral_endpoint().port
+            self._notify_endpoint = self.host.bind(
+                port, _NotifyListener(self)
+            )
+        request = NotifySubscribeRequest(
+            origin,
+            str(self._notify_endpoint.address),
+            self._notify_endpoint.port,
+        )
+        request_bytes, marshal_cost = HandcodedMarshaller(
+            request.idl_type
+        ).encode(request.to_idl())
+        yield from self.host.cpu.compute(marshal_cost)
+        reply = yield from self.transport.request(
+            self.host, self.server, request, len(request_bytes)
+        )
+        if (
+            not isinstance(reply, NotifySubscribeResponse)
+            or reply.status != STATUS_OK
+        ):
+            raise BindError(f"NOTIFY subscription for {origin} refused")
+        key = str(origin)
+        self._notify_serials[key] = max(
+            reply.serial, self._notify_serials.get(key, 0)
+        )
+        return reply.serial
+
+    def _on_notify(
+        self, origin: DomainName, serial: int
+    ) -> typing.Generator:
+        """A push landed: pull the delta since our serial into the cache.
+
+        Pushes at or behind our serial, or racing an in-flight pull,
+        are dropped — the next real bump pushes again.
+        """
+        key = str(origin)
+        have = self._notify_serials.get(key)
+        if have is None or serial <= have or key in self._notify_inflight:
+            return
+        self._notify_inflight.add(key)
+        try:
+            self.env.stats.counter(
+                f"bind.{self.name}.notify_pulls"
+            ).increment()
+            new_serial, full, deltas, records = (
+                yield from self.incremental_zone_transfer(origin, have)
+            )
+            if full:
+                yield from self._install_zone(records)
+            else:
+                yield from self._install_deltas(deltas)
+            self._notify_serials[key] = new_serial
+            if key in self._preload_serials:
+                self._preload_serials[key] = new_serial
+        except (NetworkError, BindError):
+            # Missed delta: TTL expiry still bounds the staleness.
+            self.env.stats.counter(
+                f"bind.{self.name}.notify_pull_failures"
+            ).increment()
+        finally:
+            self._notify_inflight.discard(key)
+
     # ------------------------------------------------------------------
     def zone_transfer(self, origin: typing.Union[str, DomainName]) -> typing.Generator:
         """AXFR: fetch every record of a zone; returns (serial, records)."""
@@ -1021,3 +1178,17 @@ class BindResolver:
             else:
                 self.cache.insert(key, group, len(group), ttl)
         return loaded
+
+
+class _NotifyListener(Service):
+    """Receives the primary's NOTIFY pushes for a subscribed resolver."""
+
+    def __init__(self, resolver: BindResolver):
+        self.resolver = resolver
+
+    def handle(self, datagram, responder):
+        request = datagram.payload
+        if isinstance(request, NotifyRequest):
+            yield from self.resolver._on_notify(
+                DomainName(request.origin), request.serial
+            )

@@ -25,6 +25,9 @@ import typing
 
 from repro.bind.messages import (
     STATUS_OK,
+    NotifyRequest,
+    NotifySubscribeRequest,
+    NotifySubscribeResponse,
     SerialRequest,
     SerialResponse,
 )
@@ -78,6 +81,8 @@ class SecondaryBindServer(BindServer):
             name=f"{self.name}.xfer",
         )
         self._refresh_process = None
+        #: origins with a NOTIFY-triggered pull already in flight
+        self._notify_pulls: typing.Set[DomainName] = set()
 
     # ------------------------------------------------------------------
     def start_refresh(self):
@@ -108,13 +113,16 @@ class SecondaryBindServer(BindServer):
                 pulled += 1
         return pulled
 
-    def _refresh_zone(self, zone: Zone) -> typing.Generator:
+    def _refresh_zone(
+        self, zone: Zone, force_ixfr: bool = False
+    ) -> typing.Generator:
         """SOA-serial probe, then a transfer only if the primary moved on.
 
         The transfer is incremental (IXFR) when the replica policy asks
-        for it and the primary's journal still covers our serial;
-        otherwise — including every first synchronisation — it is a full
-        AXFR installed atomically as a fresh zone.
+        for it — or when a NOTIFY push forces it — and the primary's
+        journal still covers our serial; otherwise — including every
+        first synchronisation — it is a full AXFR installed atomically
+        as a fresh zone.
         """
         request = SerialRequest(zone.origin)
         reply = yield from self.transport.request(
@@ -126,7 +134,7 @@ class SecondaryBindServer(BindServer):
             self.env.stats.counter(f"bind.{self.name}.refresh_skips").increment()
             return False
         policy = self.replica_policy
-        if policy is not None and policy.ixfr:
+        if force_ixfr or (policy is not None and policy.ixfr):
             serial, full, deltas, records = (
                 yield from self._resolver.incremental_zone_transfer(
                     zone.origin, self.replica_serials[zone.origin]
@@ -174,6 +182,62 @@ class SecondaryBindServer(BindServer):
             f"({len(records)} records)",
         )
         return True
+
+    # ------------------------------------------------------------------
+    # NOTIFY: the primary pushes serial bumps instead of us polling
+    # ------------------------------------------------------------------
+    def subscribe_to_primary(self) -> typing.Generator:
+        """Subscribe to the primary's NOTIFY push for every replica zone.
+
+        Requires :meth:`listen` first (the push needs somewhere to
+        land).  Returns the number of zones the primary accepted; a
+        refusal (primary not in NOTIFY mode) just leaves that zone on
+        the polling refresh loop.
+        """
+        if self.endpoint is None:
+            raise RuntimeError(f"{self.name}: listen() before subscribing")
+        granted = 0
+        for zone in self.zones:
+            request = NotifySubscribeRequest(
+                zone.origin, str(self.endpoint.address), self.endpoint.port
+            )
+            reply = yield from self.transport.request(
+                self.host, self.primary, request, 64
+            )
+            if (
+                isinstance(reply, NotifySubscribeResponse)
+                and reply.status == STATUS_OK
+            ):
+                granted += 1
+        return granted
+
+    def _handle_notify(self, request: NotifyRequest, responder):
+        """The primary says the zone moved: pull the delta right now.
+
+        The pull reuses the refresh path but forces IXFR — a push-
+        triggered refresh is exactly the churn-proportional case the
+        journal exists for.  Concurrent pushes for the same origin
+        coalesce onto the in-flight pull.
+        """
+        zone = self.zone_named(DomainName(request.origin))
+        yield from self.host.cpu.compute(1.0)
+        if zone is None:
+            return
+        if request.serial <= self.replica_serials.get(zone.origin, 0):
+            return
+        if zone.origin in self._notify_pulls:
+            return
+        self._notify_pulls.add(zone.origin)
+        self.env.stats.counter(f"bind.{self.name}.notify_pulls").increment()
+        try:
+            yield from self._refresh_zone(zone, force_ixfr=True)
+        except (NetworkError, RemoteCallError):
+            # The polling refresh loop will catch the zone up later.
+            self.env.stats.counter(
+                f"bind.{self.name}.refresh_failures"
+            ).increment()
+        finally:
+            self._notify_pulls.discard(zone.origin)
 
     @property
     def is_synchronized(self) -> bool:

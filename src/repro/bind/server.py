@@ -16,6 +16,7 @@ is an answer, not a crashed call.
 
 from __future__ import annotations
 
+import dataclasses
 import typing
 
 from repro.bind.errors import NameNotFound
@@ -28,11 +29,18 @@ from repro.bind.messages import (
     BatchQueryResponse,
     IxfrRequest,
     IxfrResponse,
+    NotifyRequest,
+    NotifyResponse,
+    NotifySubscribeRequest,
+    NotifySubscribeResponse,
     QueryRequest,
     QueryResponse,
     SerialRequest,
     SerialResponse,
+    UpdateBatchRequest,
+    UpdateBatchResponse,
     UpdateMode,
+    UpdateOp,
     UpdateRequest,
     UpdateResponse,
     XferRequest,
@@ -41,12 +49,17 @@ from repro.bind.messages import (
     substitute_label,
 )
 from repro.bind.names import DomainName
+from repro.bind.rr import RRType
 from repro.bind.zone import Zone
 from repro.harness.calibration import Calibration, DEFAULT_CALIBRATION
-from repro.net.addresses import WELL_KNOWN_PORTS, Endpoint
+from repro.net.addresses import WELL_KNOWN_PORTS, Endpoint, NetworkAddress
 from repro.net.host import Host, Service
+from repro.resolution import UpdatePolicy
 from repro.serial import HandcodedMarshaller
 from repro.serial.idl import IdlType
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.net.transport import Transport
 
 
 class BindServer(Service):
@@ -61,6 +74,8 @@ class BindServer(Service):
         allow_zone_transfer: bool = True,
         calibration: Calibration = DEFAULT_CALIBRATION,
         name: str = "",
+        update_policy: typing.Optional[UpdatePolicy] = None,
+        transport: typing.Optional["Transport"] = None,
     ):
         self.host = host
         self.env = host.env
@@ -74,10 +89,25 @@ class BindServer(Service):
         )
         self.allow_dynamic_update = allow_dynamic_update
         self.allow_zone_transfer = allow_zone_transfer
+        #: write-pipeline knobs; None = the prototype's TTL-only path
+        self.update_policy = update_policy
+        #: needed only to push NOTIFYs; queries never use it
+        self.transport = transport
         # Server-side marshalling uses the standard (hand-coded) BIND
         # routines regardless of what the client uses.
         self._marshallers: typing.Dict[int, HandcodedMarshaller] = {}
         self.endpoint: typing.Optional[Endpoint] = None
+        #: (name, rtype) -> absolute expiry of the granted lease
+        self._leases: typing.Dict[
+            typing.Tuple[DomainName, RRType], float
+        ] = {}
+        self._lease_sweeper = None
+        #: zone origin -> subscribed NOTIFY endpoints, in subscription order
+        self._subscribers: typing.Dict[
+            DomainName, typing.List[Endpoint]
+        ] = {}
+        #: origins with a debounced NOTIFY fan-out already scheduled
+        self._notify_pending: typing.Set[DomainName] = set()
 
     # ------------------------------------------------------------------
     def listen(self, port: int = WELL_KNOWN_PORTS["bind"]) -> Endpoint:
@@ -127,6 +157,12 @@ class BindServer(Service):
             yield from self._handle_batch_query(request, responder)
         elif isinstance(request, UpdateRequest):
             yield from self._handle_update(request, responder)
+        elif isinstance(request, UpdateBatchRequest):
+            yield from self._handle_update_batch(request, responder)
+        elif isinstance(request, NotifySubscribeRequest):
+            yield from self._handle_subscribe(request, responder)
+        elif isinstance(request, NotifyRequest):
+            yield from self._handle_notify(request, responder)
         elif isinstance(request, XferRequest):
             yield from self._handle_xfer(request, responder)
         elif isinstance(request, IxfrRequest):
@@ -146,9 +182,29 @@ class BindServer(Service):
         if zone is None:
             return QueryResponse(STATUS_NXDOMAIN, [])
         try:
-            return QueryResponse(STATUS_OK, zone.lookup(name, rtype))
+            records = zone.lookup(name, rtype)
         except NameNotFound:
             return QueryResponse(STATUS_NXDOMAIN, [])
+        return QueryResponse(STATUS_OK, self._cap_to_lease(name, rtype, records))
+
+    def _cap_to_lease(self, name, rtype, records):
+        """Cap advertised TTLs to the lease remainder for leased keys.
+
+        A cache must never hold a leased binding past the point where
+        the primary would retract it; without this cap a reader that
+        fetched just before a lease lapse would serve the stale binding
+        for the record's full TTL.
+        """
+        if not self._leases:
+            return records
+        expiry = self._leases.get((name, rtype))
+        if expiry is None:
+            return records
+        remaining = max(0.0, expiry - self.env.now)
+        return [
+            dataclasses.replace(r, ttl=remaining) if r.ttl > remaining else r
+            for r in records
+        ]
 
     def _handle_query(self, request: QueryRequest, responder):
         # ``requests`` counts datagrams (a batch is one), ``queries``
@@ -228,6 +284,8 @@ class BindServer(Service):
                     zone.add(record)
             elif request.mode == UpdateMode.DELETE:
                 zone.remove(request.name, request.rtype)
+                if self._leases:
+                    self._leases.pop((request.name, request.rtype), None)
             elif request.mode == UpdateMode.REPLACE:
                 zone.replace(request.name, request.rtype, request.records)
             else:
@@ -237,9 +295,196 @@ class BindServer(Service):
                 responder(reply, size)
                 return
             reply = UpdateResponse(STATUS_OK, zone.serial)
+            self._after_write((zone,))
         reply, size, cost = self._encode_reply(reply)
         yield from self.host.cpu.compute(cost)
         responder(reply, size)
+
+    # ------------------------------------------------------------------
+    # Batched updates, leases, and NOTIFY fan-out (the write pipeline)
+    # ------------------------------------------------------------------
+    def _handle_update_batch(self, request: UpdateBatchRequest, responder):
+        """Apply several coalesced update operations in one exchange.
+
+        Each operation pays the full per-update database cost — the
+        batch saves round trips and per-call overheads, not server
+        work.  A failing operation gets a status in its slot rather
+        than aborting the batch; the overall status is OK only when
+        every operation succeeded.
+        """
+        env = self.env
+        env.stats.counter(f"bind.{self.name}.requests").increment()
+        env.stats.counter(f"bind.{self.name}.update_batches").increment()
+        env.stats.counter("bind.update.batches").increment()
+        with env.obs.span(
+            "bind.update", server=self.name, ops=len(request.ops)
+        ) as span:
+            if not self.allow_dynamic_update:
+                reply = UpdateBatchResponse(STATUS_REFUSED, 0, [])
+            else:
+                statuses: typing.List[int] = []
+                changed: typing.List[Zone] = []
+                for op in request.ops:
+                    env.stats.counter(f"bind.{self.name}.updates").increment()
+                    env.stats.counter("bind.update.ops").increment()
+                    yield from self.host.cpu.compute(self.lookup_cost_ms)
+                    statuses.append(self._apply_update_op(op, changed))
+                serial = max((zone.serial for zone in changed), default=0)
+                ok = all(s == STATUS_OK for s in statuses)
+                reply = UpdateBatchResponse(
+                    STATUS_OK if ok else STATUS_SERVFAIL, serial, statuses
+                )
+                span.set(serial=serial, ok=ok)
+                env.trace.emit(
+                    "bind",
+                    f"{self.name}: update batch of {len(request.ops)} -> "
+                    f"serial {serial}",
+                )
+                self._after_write(changed)
+        reply, size, cost = self._encode_reply(reply)
+        yield from self.host.cpu.compute(cost)
+        responder(reply, size)
+
+    def _apply_update_op(
+        self, op: UpdateOp, changed: typing.List[Zone]
+    ) -> int:
+        """Apply one batched operation; returns its status code."""
+        zone = self.zone_for(op.name)
+        if zone is None:
+            return STATUS_NXDOMAIN
+        if op.mode == UpdateMode.ADD:
+            for record in op.records:
+                zone.add(record)
+        elif op.mode == UpdateMode.DELETE:
+            zone.remove(op.name, op.rtype)
+            self._leases.pop((op.name, op.rtype), None)
+        elif op.mode == UpdateMode.REPLACE:
+            zone.replace(op.name, op.rtype, list(op.records))
+        else:
+            return STATUS_SERVFAIL
+        if op.lease_ms > 0 and op.mode != UpdateMode.DELETE:
+            self._grant_lease(op.name, op.rtype, op.lease_ms)
+        if zone not in changed:
+            changed.append(zone)
+        return STATUS_OK
+
+    def _grant_lease(self, name: DomainName, rtype: RRType, lease_ms: float):
+        """(Re-)grant a lease; the sweeper retracts it unless renewed."""
+        self._leases[(name, rtype)] = self.env.now + lease_ms
+        self.env.stats.counter("bind.update.lease_grants").increment()
+        if self._lease_sweeper is None or not self._lease_sweeper.is_alive:
+            self._lease_sweeper = self.env.process(
+                self._sweep_leases(), name=f"bind.{self.name}.leases"
+            )
+
+    def _sweep_leases(self):
+        """Retract leased bindings whose owners stopped renewing."""
+        while self._leases:
+            next_expiry = min(self._leases.values())
+            if next_expiry > self.env.now:
+                yield self.env.timeout(next_expiry - self.env.now)
+            changed: typing.List[Zone] = []
+            for key, expiry in list(self._leases.items()):
+                if expiry > self.env.now:
+                    continue
+                del self._leases[key]
+                name, rtype = key
+                zone = self.zone_for(name)
+                if zone is not None and zone.remove(name, rtype):
+                    if zone not in changed:
+                        changed.append(zone)
+                    self.env.stats.counter(
+                        "bind.update.lease_expirations"
+                    ).increment()
+                    self.env.trace.emit(
+                        "bind",
+                        f"{self.name}: lease lapsed, retracted "
+                        f"{name} {rtype}",
+                    )
+            if changed:
+                self._after_write(changed)
+
+    def _handle_subscribe(self, request: NotifySubscribeRequest, responder):
+        """Register a subscriber for NOTIFY pushes on one zone."""
+        env = self.env
+        env.stats.counter(f"bind.{self.name}.subscriptions").increment()
+        yield from self.host.cpu.compute(1.0)
+        policy = self.update_policy
+        zone = self.zone_named(DomainName(request.origin))
+        if policy is None or not policy.notify or self.transport is None:
+            reply = NotifySubscribeResponse(STATUS_REFUSED, 0)
+        elif zone is None:
+            reply = NotifySubscribeResponse(STATUS_NXDOMAIN, 0)
+        else:
+            endpoint = Endpoint(NetworkAddress(request.address), request.port)
+            subscribers = self._subscribers.setdefault(zone.origin, [])
+            if endpoint not in subscribers:
+                subscribers.append(endpoint)
+            reply = NotifySubscribeResponse(STATUS_OK, zone.serial)
+        reply, size, cost = self._encode_reply(reply)
+        yield from self.host.cpu.compute(cost)
+        responder(reply, size)
+
+    def _handle_notify(self, request: NotifyRequest, responder):
+        """A NOTIFY landed on a plain server: acknowledge and ignore.
+
+        Secondaries override this to pull the delta immediately.
+        """
+        yield from self.host.cpu.compute(1.0)
+        reply, size, cost = self._encode_reply(NotifyResponse(STATUS_OK))
+        yield from self.host.cpu.compute(cost)
+        responder(reply, size)
+
+    def _after_write(self, zones: typing.Iterable[Zone]) -> None:
+        """Schedule a debounced NOTIFY fan-out for each changed zone.
+
+        A no-op unless NOTIFY mode is on and someone subscribed, so the
+        prototype write path stays bit-identical.
+        """
+        policy = self.update_policy
+        if policy is None or not policy.notify or self.transport is None:
+            return
+        for zone in zones:
+            if not self._subscribers.get(zone.origin):
+                continue
+            if zone.origin in self._notify_pending:
+                continue
+            self._notify_pending.add(zone.origin)
+            self.env.process(
+                self._notify_origin(zone), name=f"bind.{self.name}.notify"
+            )
+
+    def _notify_origin(self, zone: Zone):
+        """Push the zone's current serial to every subscriber.
+
+        The debounce window lets a burst of writes collapse into one
+        push; subscribers pull the whole delta through IXFR anyway.
+        """
+        policy = self.update_policy
+        assert policy is not None and self.transport is not None
+        if policy.notify_delay_ms > 0:
+            yield self.env.timeout(policy.notify_delay_ms)
+        self._notify_pending.discard(zone.origin)
+        serial = zone.serial
+        with self.env.obs.span(
+            "bind.notify",
+            server=self.name,
+            origin=str(zone.origin),
+            serial=serial,
+        ):
+            request = NotifyRequest(zone.origin, serial)
+            _, size, marshal_cost = self._encode_reply(request)
+            for subscriber in list(self._subscribers.get(zone.origin, ())):
+                yield from self.host.cpu.compute(marshal_cost)
+                self.env.stats.counter("bind.update.notifies").increment()
+                # One-way push: a dead subscriber just misses it and
+                # catches up from TTL expiry like everyone else.
+                yield from self.transport.send(
+                    self.host,
+                    subscriber,
+                    NotifyRequest(zone.origin, serial),
+                    size,
+                )
 
     def _handle_xfer(self, request: XferRequest, responder):
         self.env.stats.counter(f"bind.{self.name}.xfers").increment()

@@ -32,15 +32,20 @@ import typing
 from repro.bind import (
     BindResolver,
     CacheFormat,
+    DomainName,
     NameNotFound,
     ResolverCache,
     ResourceRecord,
     RRType,
+    UpdateMode,
+    UpdateOp,
 )
 from repro.core.errors import ContextNotFound, HnsError, NsmNotFound
 
 if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.core.nsm import LeaseKeeper
     from repro.obs.span import SpanLike
+    from repro.sim.events import Event
 from repro.harness.calibration import Calibration, DEFAULT_CALIBRATION
 from repro.hrpc.suites import suite_named
 from repro.net.addresses import Endpoint
@@ -48,10 +53,13 @@ from repro.net.host import Host
 from repro.net.transport import Transport
 from repro.bind.messages import STATUS_OK, BatchQuestion
 from repro.resolution import (
+    _UNSET,
     DEFAULT_RESOLUTION_POLICY,
     FastPathPolicy,
+    PolicySet,
     ReplicaPolicy,
     ResolutionPolicy,
+    merge_policies,
 )
 
 META_ORIGIN = "hns"
@@ -175,6 +183,21 @@ class DirectoryListing:
         return "\n".join(lines)
 
 
+@dataclasses.dataclass
+class _OpenBatch:
+    """A coalescing window in progress on one store.
+
+    Ops are keyed by ``(owner, rtype)`` so a later registration of the
+    same owner inside the window simply overwrites the earlier one —
+    last writer wins, exactly what a rebinding wave wants.
+    """
+
+    done: "Event"
+    ops: typing.Dict[typing.Tuple[str, int], UpdateOp] = dataclasses.field(
+        default_factory=dict
+    )
+
+
 class MetaStore:
     """Client-side access to the meta zone, with the HNS cache.
 
@@ -192,23 +215,44 @@ class MetaStore:
         cache_format: CacheFormat = CacheFormat.DEMARSHALLED,
         cache: typing.Optional[ResolverCache] = None,
         secondaries: typing.Sequence[Endpoint] = (),
-        policy: typing.Optional[ResolutionPolicy] = DEFAULT_RESOLUTION_POLICY,
-        fast_path: typing.Optional[FastPathPolicy] = None,
-        replica_policy: typing.Optional[ReplicaPolicy] = None,
+        policy: typing.Any = _UNSET,
+        fast_path: typing.Any = _UNSET,
+        replica_policy: typing.Any = _UNSET,
+        update_policy: typing.Any = _UNSET,
+        policies: typing.Optional[PolicySet] = None,
     ):
         self.host = host
         self.env = host.env
         self.calibration = calibration
+        # One resolution point for the whole bundle: the PolicySet base
+        # (PolicySet.default() matches the historical kwarg defaults)
+        # with any legacy per-policy kwargs folded over it.
+        resolved = merge_policies(
+            policies if policies is not None else PolicySet.default(),
+            policy=policy,
+            fast_path=fast_path,
+            replica_policy=replica_policy,
+            update_policy=update_policy,
+            caller="MetaStore",
+        )
+        self.policies = resolved
         #: fault-tolerance policy for every meta lookup (retry/backoff
         #: across replicas, negative caching, serve-stale); None gives
         #: the prototype's die-on-first-error behaviour
-        self.policy = policy
+        self.policy = policy = resolved.resolution
         #: performance policy (coalescing, refresh-ahead, batching);
         #: None keeps the paper-faithful sequential behaviour
-        self.fast_path = fast_path
+        self.fast_path = resolved.fast_path
         #: replica-aware read policy (adaptive selection, hedging,
         #: incremental transfer); None keeps static ordered failover
-        self.replica_policy = replica_policy
+        self.replica_policy = resolved.replica
+        #: write-path policy (batched registration, leases, NOTIFY);
+        #: None keeps the one-record-per-round-trip prototype writes
+        self.update_policy = resolved.update
+        #: the coalescing window currently open on this store, if any
+        self._open_batch: typing.Optional[_OpenBatch] = None
+        #: client-side renewal agent for leased registrations
+        self._lease_keeper: typing.Optional["LeaseKeeper"] = None
         self.cache = (
             cache
             if cache is not None
@@ -235,9 +279,7 @@ class MetaStore:
             calibration=calibration,
             name=f"meta@{host.name}",
             secondaries=secondaries,
-            policy=policy,
-            fast_path=fast_path,
-            replica_policy=replica_policy,
+            policies=resolved,
         )
 
     # ------------------------------------------------------------------
@@ -433,15 +475,135 @@ class MetaStore:
     # Registration (dynamic updates to the modified BIND)
     # ------------------------------------------------------------------
     def _put(self, owner: str, data: bytes, rtype: RRType = RRType.UNSPEC) -> typing.Generator:
-        from repro.bind import DomainName
-
         record = ResourceRecord(
             owner, rtype, self.calibration.meta_ttl_ms, data  # type: ignore[arg-type]
         )
-        serial = yield from self.resolver.replace_records(owner, rtype, [record])
-        # Registration supersedes whatever the cache held for this owner
-        # (cache keys are canonical lowercase domain names).
-        self.cache.invalidate((str(DomainName(owner)), rtype.value))
+        with self.env.obs.span(
+            "meta.register", store=f"meta@{self.host.name}", owner=owner
+        ) as span:
+            policy = self.update_policy
+            if policy is None or not policy.active:
+                # The prototype write path: one record, one round trip.
+                serial = yield from self.resolver.replace_records(
+                    owner, rtype, [record]
+                )
+                # Registration supersedes whatever the cache held for this
+                # owner (cache keys are canonical lowercase domain names).
+                self.cache.invalidate((str(DomainName(owner)), rtype.value))
+                return serial
+            op = UpdateOp(
+                UpdateMode.REPLACE,
+                DomainName(owner),
+                rtype,
+                (record,),
+                lease_ms=policy.lease_ms if policy.leases else 0.0,
+            )
+            serial = yield from self._submit_op(op)
+            span.set(batched=policy.batch, serial=serial)
+            if policy.leases:
+                self._leases().track((str(op.name), rtype.value), op)
+            return serial
+
+    # --- the batched write pipeline -----------------------------------
+    def _submit_op(self, op: UpdateOp) -> typing.Generator:
+        """Route one write through the update pipeline.
+
+        With batching on, the first concurrent writer opens a
+        coalescing window, sleeps it out, and flushes everything that
+        accumulated as one (or a few, if over the wire cap) batched
+        round trips; writers that arrive while the window is open merge
+        their op in and park on the leader's event.
+        """
+        policy = self.update_policy
+        assert policy is not None
+        if not policy.batch:
+            # No coalescing, but leases/NOTIFY still need the batch
+            # message (it is the one that carries the lease field).
+            serial, _ = yield from self.resolver.update_batch([op])
+            self._invalidate_for(op)
+            return serial
+        key = (str(op.name), op.rtype.value)
+        batch = self._open_batch
+        if batch is not None:
+            # Follower: merge (last writer wins on the same owner) and
+            # wait for the leader's flush.
+            batch.ops[key] = op
+            self.env.stats.counter("hns.meta.coalesced_writes").increment()
+            serial = yield batch.done
+            return serial
+        event = self.env.event()
+        # The flush may fail with nobody parked on the batch.
+        event.defuse()
+        batch = _OpenBatch(done=event)
+        batch.ops[key] = op
+        self._open_batch = batch
+        if policy.batch_window_ms > 0:
+            yield self.env.timeout(policy.batch_window_ms)
+        self._open_batch = None
+        ops = list(batch.ops.values())
+        try:
+            serial = 0
+            for start in range(0, len(ops), policy.max_batch_ops):
+                chunk = ops[start:start + policy.max_batch_ops]
+                serial, _ = yield from self.resolver.update_batch(chunk)
+        except BaseException as err:
+            batch.done.fail(err)
+            raise
+        for queued in ops:
+            self._invalidate_for(queued)
+        self.env.trace.emit(
+            "hns",
+            f"meta@{self.host.name}: flushed {len(ops)} coalesced "
+            f"writes (serial {serial})",
+        )
+        batch.done.succeed(serial)
+        return serial
+
+    def _invalidate_for(self, op: UpdateOp) -> None:
+        self.cache.invalidate((str(op.name), op.rtype.value))
+
+    # --- leases -------------------------------------------------------
+    def _leases(self) -> "LeaseKeeper":
+        """The renewal agent, created on first leased registration."""
+        if self._lease_keeper is None:
+            from repro.core.nsm import LeaseKeeper
+
+            policy = self.update_policy
+            assert policy is not None
+            self._lease_keeper = LeaseKeeper(
+                self.env,
+                self._renew_ops,
+                lease_ms=policy.lease_ms,
+                renew_fraction=policy.lease_renew_fraction,
+                name=f"meta@{self.host.name}",
+            )
+        return self._lease_keeper
+
+    def _renew_ops(self, ops: typing.List[UpdateOp]) -> typing.Generator:
+        """Re-assert every tracked lease in one batched round trip."""
+        policy = self.update_policy
+        assert policy is not None
+        for start in range(0, len(ops), policy.max_batch_ops):
+            yield from self.resolver.update_batch(
+                ops[start:start + policy.max_batch_ops]
+            )
+
+    def stop_lease_renewal(self) -> None:
+        """Stop renewing (models this registrar dying): the primary
+        retracts every binding we held when its lease runs out."""
+        if self._lease_keeper is not None:
+            self._lease_keeper.stop()
+
+    # --- NOTIFY -------------------------------------------------------
+    def subscribe_invalidation(self) -> typing.Generator:
+        """Subscribe this store's cache to the primary's NOTIFY push.
+
+        Pushed serial bumps pull IXFR deltas straight into the cache,
+        so re-registrations elsewhere stop being served here long
+        before their TTL would have expired.  Returns the zone serial
+        the subscription starts from.
+        """
+        serial = yield from self.resolver.subscribe_notify(META_ORIGIN)
         return serial
 
     def register_context(self, context: str, name_service: str) -> typing.Generator:
@@ -468,8 +630,13 @@ class MetaStore:
         yield from self._put(owner, encode_fields(host=host_name, addr=address))
 
     def unregister(self, owner: str, rtype: RRType = RRType.UNSPEC) -> typing.Generator:
-        from repro.bind import DomainName
-
+        policy = self.update_policy
+        if policy is not None and policy.active:
+            op = UpdateOp(UpdateMode.DELETE, DomainName(owner), rtype)
+            yield from self._submit_op(op)
+            if self._lease_keeper is not None:
+                self._lease_keeper.release((str(op.name), rtype.value))
+            return
         yield from self.resolver.remove_records(owner, rtype)
         self.cache.invalidate((str(DomainName(owner)), rtype.value))
 

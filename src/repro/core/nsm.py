@@ -23,7 +23,7 @@ from __future__ import annotations
 import dataclasses
 import typing
 
-from repro.bind import CacheFormat, ResolverCache
+from repro.bind import CacheFormat, ResolverCache, UpdateOp
 from repro.core.names import HNSName
 from repro.core.queryclass import query_class_named
 from repro.harness.calibration import Calibration, DEFAULT_CALIBRATION
@@ -330,6 +330,76 @@ def serve_nsm(server: HrpcServer, nsm: NamingSemanticsManager) -> str:
 
     server.program(program_name).procedure("query", query_proc)
     return program_name
+
+
+class LeaseKeeper:
+    """Client-side half of lease-based invalidation.
+
+    A write made under an :class:`~repro.resolution.UpdatePolicy` with
+    ``invalidation="lease"`` stays registered only as long as its owner
+    keeps renewing it; this process re-submits every tracked binding at
+    ``lease_ms * renew_fraction`` so a healthy owner never lets a lease
+    lapse — while a crashed or retired owner's bindings retract at the
+    server within one lease, without any explicit unregister.
+    """
+
+    def __init__(
+        self,
+        env,
+        renew: typing.Callable[[typing.List[UpdateOp]], typing.Generator],
+        lease_ms: float,
+        renew_fraction: float = 0.5,
+        name: str = "leases",
+    ):
+        if lease_ms <= 0:
+            raise ValueError("lease_ms must be positive")
+        if not 0 < renew_fraction < 1:
+            raise ValueError("renew_fraction must be in (0, 1)")
+        self.env = env
+        self.name = name
+        self.interval_ms = lease_ms * renew_fraction
+        self._renew = renew
+        self._ops: typing.Dict[object, UpdateOp] = {}
+        self._process = None
+        self._running = True
+
+    def track(self, key: object, op: UpdateOp) -> None:
+        """Keep ``op`` alive: re-registered every renewal interval."""
+        self._ops[key] = op
+        self.env.stats.counter("nsm.lease.tracked").increment()
+        if self._process is None or not self._process.is_alive:
+            self._running = True
+            self._process = self.env.process(
+                self._loop(), name=f"{self.name}.lease_renewal"
+            )
+
+    def release(self, key: object) -> None:
+        """Stop renewing one binding (it expires at the server)."""
+        self._ops.pop(key, None)
+
+    def stop(self) -> None:
+        """Stop renewing everything — models the owner going away."""
+        self._running = False
+        self._ops.clear()
+        self.env.stats.counter("nsm.lease.stops").increment()
+
+    @property
+    def active(self) -> bool:
+        return self._running and bool(self._ops)
+
+    def _loop(self) -> typing.Generator:
+        while self._running and self._ops:
+            yield self.env.timeout(self.interval_ms)
+            if not self._running or not self._ops:
+                return
+            try:
+                yield from self._renew(list(self._ops.values()))
+            except Exception:
+                # A missed renewal is not fatal: the next tick retries,
+                # and the server-side lease only lapses after lease_ms.
+                self.env.stats.counter("nsm.lease.renewal_failures").increment()
+            else:
+                self.env.stats.counter("nsm.lease.renewals").increment()
 
 
 class NsmStub:

@@ -37,6 +37,7 @@ from __future__ import annotations
 import dataclasses
 import random
 import typing
+import warnings
 
 from repro.net.errors import is_transient
 from repro.sim.kernel import Environment
@@ -307,6 +308,199 @@ class ReplicaPolicy:
 #: Everything on: what the replica-scheduling benchmarks opt into.  The
 #: stack default stays ``None`` (off) so existing numbers hold.
 DEFAULT_REPLICA_POLICY = ReplicaPolicy()
+
+
+@dataclasses.dataclass(frozen=True)
+class UpdatePolicy:
+    """Write-path knobs: batched dynamic update and cache invalidation.
+
+    The paper's prototype writes one record per round trip and lets
+    caches find out about changes only when their TTL runs out — yet
+    "evolving systems" (system merges, NSM rebinding waves, mass host
+    renumbering) is the paper's core story.  This policy gates the
+    production write path:
+
+    - **batched updates** (``batch``): registrations issued within the
+      ``batch_window_ms`` coalescing window on one host travel as a
+      single ``UpdateBatchRequest`` datagram, with last-writer-wins
+      merging of same-owner operations.  An NSM rebinding wave becomes
+      one round trip instead of one per mapping.
+    - **lease-based invalidation** (``invalidation="lease"``):
+      registrations carry a lease the client must keep renewing; when
+      the renewals stop, the primary retracts the binding on expiry and
+      caps advertised TTLs to the lease remainder so caches never hold
+      a binding longer than its owner is known to be alive.
+    - **NOTIFY-based invalidation** (``invalidation="notify"``): the
+      primary pushes SOA-serial bumps to secondaries and subscribed
+      resolvers, which pull just the deltas through the IXFR journal
+      and install them straight into their caches.
+
+    ``None`` anywhere an :class:`UpdatePolicy` is accepted means the
+    same as :meth:`disabled`: the prototype's one-record-at-a-time,
+    TTL-only behaviour.
+    """
+
+    #: coalesce concurrent registrations into one batched round trip
+    batch: bool = True
+    #: operations per batch datagram (wire-format cap: 64)
+    max_batch_ops: int = 64
+    #: how long the first writer holds the batch open for followers
+    batch_window_ms: float = 5.0
+    #: how caches learn about changes: "ttl" (wait for expiry),
+    #: "lease" (bindings lapse with their owner), or "notify"
+    #: (primary pushes serial bumps; subscribers pull IXFR deltas)
+    invalidation: str = "ttl"
+    #: lease duration granted with each registration (lease mode)
+    lease_ms: float = 10_000.0
+    #: renew when this fraction of the lease has elapsed
+    lease_renew_fraction: float = 0.5
+    #: debounce before a serial bump fans out to subscribers
+    notify_delay_ms: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.max_batch_ops <= 64:
+            raise ValueError("max batch ops must be in [1, 64]")
+        if self.batch_window_ms < 0:
+            raise ValueError("batch window must be >= 0")
+        if self.invalidation not in ("ttl", "lease", "notify"):
+            raise ValueError("invalidation must be ttl, lease, or notify")
+        if self.lease_ms <= 0:
+            raise ValueError("lease duration must be positive")
+        if not 0.0 < self.lease_renew_fraction < 1.0:
+            raise ValueError("lease renew fraction must be in (0, 1)")
+        if self.notify_delay_ms < 0:
+            raise ValueError("notify delay must be >= 0")
+
+    # ------------------------------------------------------------------
+    @property
+    def leases(self) -> bool:
+        """Whether registrations carry (and must renew) leases."""
+        return self.invalidation == "lease"
+
+    @property
+    def notify(self) -> bool:
+        """Whether the primary pushes serial bumps to subscribers."""
+        return self.invalidation == "notify"
+
+    @property
+    def active(self) -> bool:
+        """Whether any part of the pipeline diverges from the prototype.
+
+        When False, registration runs the exact one-record-at-a-time
+        code path the prototype uses (bit-identical traces).
+        """
+        return self.batch or self.invalidation != "ttl"
+
+    @classmethod
+    def disabled(cls) -> "UpdatePolicy":
+        """The prototype behaviour: one record per round trip, caches
+        invalidated only by TTL expiry.  The ablation baseline."""
+        return cls(batch=False, invalidation="ttl")
+
+
+#: Everything on: what the update-path benchmarks opt into.  The stack
+#: default stays ``None`` (off) so the paper-reproduction numbers hold.
+DEFAULT_UPDATE_POLICY = UpdatePolicy()
+
+
+@dataclasses.dataclass(frozen=True)
+class PolicySet:
+    """One frozen bundle of all four resolution-path policies.
+
+    Five PRs grew four independent policy objects, and every layer
+    (:class:`~repro.core.metastore.MetaStore`,
+    :class:`~repro.core.hns.HNS`, ``BindResolver``) took them as four
+    separate keyword arguments with subtly different ``None`` fallback
+    rules.  A :class:`PolicySet` is the one object callers pass instead;
+    ``None`` in any slot uniformly means that mechanism's
+    ``.disabled()`` prototype behaviour.
+
+    The legacy per-policy kwargs still work as deprecated aliases (they
+    warn once per call site and fold over the base set via
+    :func:`merge_policies`).
+    """
+
+    resolution: typing.Optional[ResolutionPolicy] = None
+    fast_path: typing.Optional[FastPathPolicy] = None
+    replica: typing.Optional[ReplicaPolicy] = None
+    update: typing.Optional[UpdatePolicy] = None
+
+    @classmethod
+    def default(cls) -> "PolicySet":
+        """What the stack runs with when nothing is specified: fault
+        tolerance on, the opt-in mechanisms (fast path, replica
+        scheduling, write pipeline) off — matching the historical
+        per-kwarg defaults."""
+        return cls(resolution=DEFAULT_RESOLUTION_POLICY)
+
+    @classmethod
+    def paper_prototype(cls) -> "PolicySet":
+        """Every mechanism at its ``.disabled()`` baseline: the paper's
+        prototype, end to end.  Ablation benchmarks start here."""
+        return cls(
+            resolution=ResolutionPolicy.disabled(),
+            fast_path=FastPathPolicy.disabled(),
+            replica=ReplicaPolicy.disabled(),
+            update=UpdatePolicy.disabled(),
+        )
+
+
+class _Unset:
+    """Sentinel distinguishing 'kwarg not passed' from an explicit None."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<unset>"
+
+
+_UNSET = _Unset()
+
+#: call sites that already got their deprecation warning
+_WARNED: typing.Set[typing.Tuple[str, str]] = set()
+
+
+def reset_policy_deprecation_warnings() -> None:
+    """Forget which call sites warned already (for tests)."""
+    _WARNED.clear()
+
+
+def merge_policies(
+    base: PolicySet,
+    policy: typing.Any = _UNSET,
+    fast_path: typing.Any = _UNSET,
+    replica_policy: typing.Any = _UNSET,
+    update_policy: typing.Any = _UNSET,
+    caller: str = "",
+) -> PolicySet:
+    """Fold explicitly-passed legacy per-policy kwargs over ``base``.
+
+    Constructors that grew up taking ``policy=`` / ``fast_path=`` /
+    ``replica_policy=`` route those kwargs here: each one that was
+    actually passed (sentinel-checked, so an explicit ``None`` still
+    means "disabled") overrides the matching :class:`PolicySet` slot and
+    triggers a one-time :class:`DeprecationWarning` per call site.
+    """
+    changes: typing.Dict[str, typing.Any] = {}
+    for kwarg, field, value in (
+        ("policy", "resolution", policy),
+        ("fast_path", "fast_path", fast_path),
+        ("replica_policy", "replica", replica_policy),
+        ("update_policy", "update", update_policy),
+    ):
+        if isinstance(value, _Unset):
+            continue
+        mark = (caller, kwarg)
+        if mark not in _WARNED:
+            _WARNED.add(mark)
+            warnings.warn(
+                f"{caller}: the {kwarg!r} kwarg is deprecated; pass "
+                "policies=PolicySet(...) instead",
+                DeprecationWarning,
+                stacklevel=3,
+            )
+        changes[field] = value
+    if not changes:
+        return base
+    return dataclasses.replace(base, **changes)
 
 
 def retrying(

@@ -63,8 +63,10 @@ from repro.net.host import Host
 from repro.resolution import (
     DEFAULT_RESOLUTION_POLICY,
     FastPathPolicy,
+    PolicySet,
     ReplicaPolicy,
     ResolutionPolicy,
+    UpdatePolicy,
 )
 from repro.sim import ConstantLatency, Environment
 
@@ -216,16 +218,23 @@ class HcsTestbed:
         fast_path: typing.Optional[FastPathPolicy] = None,
         replica_policy: typing.Optional[ReplicaPolicy] = None,
         secondaries: typing.Sequence[Endpoint] = (),
+        update_policy: typing.Optional[UpdatePolicy] = None,
+        policies: typing.Optional[PolicySet] = None,
     ) -> MetaStore:
+        if policies is None:
+            policies = PolicySet(
+                resolution=policy,
+                fast_path=fast_path,
+                replica=replica_policy,
+                update=update_policy,
+            )
         return MetaStore(
             host,
             self.udp,
             self.meta_endpoint,
             calibration=self.calibration,
-            policy=policy,
-            fast_path=fast_path,
-            replica_policy=replica_policy,
             secondaries=secondaries,
+            policies=policies,
         )
 
     def make_hns(
@@ -235,23 +244,27 @@ class HcsTestbed:
         fast_path: typing.Optional[FastPathPolicy] = None,
         replica_policy: typing.Optional[ReplicaPolicy] = None,
         secondaries: typing.Sequence[Endpoint] = (),
+        update_policy: typing.Optional[UpdatePolicy] = None,
+        policies: typing.Optional[PolicySet] = None,
     ) -> HNS:
         """An HNS library instance with its statically linked NSMs."""
+        if policies is None:
+            policies = PolicySet(
+                resolution=policy,
+                fast_path=fast_path,
+                replica=replica_policy,
+                update=update_policy,
+            )
         hns = HNS(
             self.make_metastore(
-                host,
-                policy=policy,
-                fast_path=fast_path,
-                replica_policy=replica_policy,
-                secondaries=secondaries,
+                host, secondaries=secondaries, policies=policies
             ),
             calibration=self.calibration,
-            policy=policy,
         )
         bind_addr_nsm = self.make_bind_hostaddr_nsm(host)
         ch_addr_nsm = self.make_ch_hostaddr_nsm(host)
-        bind_addr_nsm.fast_path = fast_path
-        ch_addr_nsm.fast_path = fast_path
+        bind_addr_nsm.fast_path = policies.fast_path
+        ch_addr_nsm.fast_path = policies.fast_path
         hns.link_host_address_nsm(BIND_NS, bind_addr_nsm)
         hns.link_host_address_nsm(CH_NS, ch_addr_nsm)
         return hns
@@ -262,9 +275,18 @@ def _run(env: Environment, gen) -> object:
 
 
 def build_testbed(
-    seed: int = 0, calibration: Calibration = DEFAULT_CALIBRATION
+    seed: int = 0,
+    calibration: Calibration = DEFAULT_CALIBRATION,
+    update_policy: typing.Optional[UpdatePolicy] = None,
 ) -> HcsTestbed:
-    """Stand up the full HCS environment and register the meta data."""
+    """Stand up the full HCS environment and register the meta data.
+
+    ``update_policy`` configures the meta server's write pipeline
+    (batched updates, leases, NOTIFY fan-out); ``None`` keeps the
+    prototype's one-record-per-round-trip dynamic update.  The initial
+    registration always runs the legacy path, so testbed setup is
+    identical across modes.
+    """
     env = Environment(seed=seed)
     internet = Internetwork(env)
     segment = internet.add_segment(
@@ -294,6 +316,8 @@ def build_testbed(
         allow_dynamic_update=True,
         calibration=calibration,
         name="meta-bind",
+        update_policy=update_policy,
+        transport=udp,
     )
     meta_endpoint = meta_server.listen()
 
@@ -445,9 +469,16 @@ def build_stack(
     policy: typing.Optional[ResolutionPolicy] = DEFAULT_RESOLUTION_POLICY,
     fast_path: typing.Optional[FastPathPolicy] = None,
     replica_policy: typing.Optional[ReplicaPolicy] = None,
+    update_policy: typing.Optional[UpdatePolicy] = None,
+    policies: typing.Optional[PolicySet] = None,
 ) -> ColocationStack:
     """Wire the client side for one Table 3.1 arrangement.
 
+    ``policies`` bundles the whole policy surface as one
+    :class:`~repro.resolution.PolicySet`
+    (``PolicySet.paper_prototype()`` reproduces the prototype
+    everywhere).  The individual kwargs remain for convenience and are
+    folded into a PolicySet when ``policies`` is not given:
     ``policy`` configures the fault-tolerance layer of every stage
     (meta resolver, HNS, importer); pass
     ``ResolutionPolicy.disabled()`` for the prototype's die-on-error
@@ -457,8 +488,18 @@ def build_stack(
     default ``None`` keeps the paper-faithful sequential behaviour.
     ``replica_policy`` configures replica-aware meta reads (adaptive
     selection, hedging, incremental transfer); ``None`` keeps the
-    static primary-then-secondaries failover.
+    static primary-then-secondaries failover.  ``update_policy``
+    configures the write pipeline (batched registration, leases,
+    NOTIFY-driven invalidation); ``None`` keeps prototype writes.
     """
+    if policies is None:
+        policies = PolicySet(
+            resolution=policy,
+            fast_path=fast_path,
+            replica=replica_policy,
+            update=update_policy,
+        )
+    policy = policies.resolution
     env = testbed.env
     client = testbed.client
     runtime = HrpcRuntime(client, testbed.internet)
@@ -470,7 +511,7 @@ def build_stack(
         return testbed.make_ch_binding_nsm(host)
 
     if arrangement is Arrangement.ALL_LOCAL:
-        hns = testbed.make_hns(client, policy=policy, fast_path=fast_path, replica_policy=replica_policy)
+        hns = testbed.make_hns(client, policies=policies)
         nsm = binding_nsm_for(client)
         hns.link_local_nsm(nsm)
         stub = NsmStub(client, runtime, calibration=cal)
@@ -482,7 +523,7 @@ def build_stack(
 
     if arrangement is Arrangement.AGENT:
         agent_host = testbed.agent_host
-        hns = testbed.make_hns(agent_host, policy=policy, fast_path=fast_path, replica_policy=replica_policy)
+        hns = testbed.make_hns(agent_host, policies=policies)
         nsm = binding_nsm_for(agent_host)
         hns.link_local_nsm(nsm)
         agent_stub = NsmStub(agent_host, calibration=cal)
@@ -501,7 +542,7 @@ def build_stack(
         )
 
     if arrangement is Arrangement.REMOTE_HNS:
-        hns = testbed.make_hns(testbed.hns_host, policy=policy, fast_path=fast_path, replica_policy=replica_policy)
+        hns = testbed.make_hns(testbed.hns_host, policies=policies)
         server = HrpcServer(testbed.hns_host, name="hns-service")
         serve_hns(hns, server)
         server.listen(HNS_PORT)
@@ -523,7 +564,7 @@ def build_stack(
         )
 
     if arrangement is Arrangement.REMOTE_NSMS:
-        hns = testbed.make_hns(client, policy=policy, fast_path=fast_path, replica_policy=replica_policy)
+        hns = testbed.make_hns(client, policies=policies)
         nsm = binding_nsm_for(testbed.nsm_host)
         server = HrpcServer(testbed.nsm_host, name="nsm-service")
         serve_nsm(server, nsm)
@@ -537,7 +578,7 @@ def build_stack(
         )
 
     if arrangement is Arrangement.ALL_REMOTE:
-        hns = testbed.make_hns(testbed.hns_host, policy=policy, fast_path=fast_path, replica_policy=replica_policy)
+        hns = testbed.make_hns(testbed.hns_host, policies=policies)
         hns_server = HrpcServer(testbed.hns_host, name="hns-service")
         serve_hns(hns, hns_server)
         hns_server.listen(HNS_PORT)
@@ -717,6 +758,142 @@ def _traced_scenario(seed: int) -> Environment:
 
     env.run(until=env.process(do()))
     env.run(until=env.process(do()))
+    return env
+
+
+@scenario("registration_storm")
+def _registration_storm_scenario(seed: int) -> Environment:
+    """A system merge: a whole name service's NSM fleet registers at
+    once, with the batched write pipeline coalescing the storm."""
+    testbed = build_testbed(seed=seed, update_policy=UpdatePolicy())
+    env = testbed.env
+    env.trace.enabled = True
+    admin = HnsAdministrator(
+        testbed.make_metastore(
+            testbed.agent_host,
+            policies=PolicySet(
+                resolution=DEFAULT_RESOLUTION_POLICY, update=UpdatePolicy()
+            ),
+        )
+    )
+    nsm_fqdn = f"{testbed.nsm_host.name}.cs.washington.edu"
+
+    def register_one(query_class: str, offset: int):
+        nsm_name = f"{query_class}-BIND-eng"
+        yield from admin.register_nsm(
+            nsm_name=nsm_name,
+            query_class=query_class,
+            name_service="BIND-eng",
+            host_name=nsm_fqdn,
+            host_context=SRV_CONTEXT,
+            program=f"nsm.{nsm_name}",
+            suite="sunrpc",
+            port=NSM_PORT + 8 + offset,
+            host_address=str(testbed.nsm_host.address),
+        )
+
+    def drive():
+        yield from admin.register_name_service(
+            "BIND-eng",
+            "bind",
+            f"{testbed.public_host.name}.cs.washington.edu",
+            53,
+        )
+        yield from admin.register_context("BIND-eng", "BIND-eng")
+        wave = [
+            env.process(register_one(query_class, offset))
+            for offset, query_class in enumerate(
+                ("HRPCBinding", "HostAddress", "MailboxLocation", "FileService")
+            )
+        ]
+        yield env.all_of(wave)
+
+    env.run(until=env.process(drive()))
+    return env
+
+
+@scenario("nsm_rebinding_wave")
+def _rebinding_wave_scenario(seed: int) -> Environment:
+    """A fleet of NSMs rebinds to a new host while a warm reader holds
+    their old records; NOTIFY-driven invalidation pulls the IXFR deltas
+    into the reader's cache long before TTL expiry would."""
+    update = UpdatePolicy(invalidation="notify")
+    testbed = build_testbed(seed=seed, update_policy=update)
+    env = testbed.env
+    env.trace.enabled = True
+    writer = testbed.make_metastore(
+        testbed.agent_host,
+        policies=PolicySet(resolution=DEFAULT_RESOLUTION_POLICY, update=update),
+    )
+    reader = testbed.make_metastore(testbed.client)
+    admin = HnsAdministrator(writer)
+    rebinding = ("HRPCBinding", "HostAddress", "MailboxLocation", "FileService")
+
+    def rebind_one(query_class: str, offset: int):
+        nsm_name = f"{query_class}-{BIND_NS}"
+        yield from admin.register_nsm(
+            nsm_name=nsm_name,
+            query_class=query_class,
+            name_service=BIND_NS,
+            host_name="june.cs.washington.edu",
+            host_context=SRV_CONTEXT,
+            program=f"nsm.{nsm_name}",
+            suite="sunrpc",
+            port=NSM_PORT + offset,
+            host_address=str(testbed.june.address),
+        )
+
+    def drive():
+        # Warm the reader, then subscribe its cache to NOTIFY pushes.
+        for query_class in rebinding[:2]:
+            yield from reader.nsm_record(f"{query_class}-{BIND_NS}")
+        yield from reader.subscribe_invalidation()
+        wave = [
+            env.process(rebind_one(query_class, offset))
+            for offset, query_class in enumerate(rebinding)
+        ]
+        yield env.all_of(wave)
+        yield env.timeout(200.0)
+        record = yield from reader.nsm_record(f"HRPCBinding-{BIND_NS}")
+        assert record.host_name == "june.cs.washington.edu", record
+
+    env.run(until=env.process(drive()))
+    return env
+
+
+@scenario("mass_renumbering")
+def _mass_renumbering_scenario(seed: int) -> Environment:
+    """Mass host renumbering under leases: the registrar rewrites every
+    NSM-host address, keeps the leases alive a while, then dies — and
+    the primary retracts the whole batch when the leases lapse."""
+    update = UpdatePolicy(invalidation="lease", lease_ms=2_000.0)
+    testbed = build_testbed(seed=seed, update_policy=update)
+    env = testbed.env
+    env.trace.enabled = True
+    store = testbed.make_metastore(
+        testbed.agent_host,
+        policies=PolicySet(resolution=DEFAULT_RESOLUTION_POLICY, update=update),
+    )
+    movers = (testbed.fiji, testbed.june, testbed.nsm_host, testbed.hns_host)
+
+    def drive():
+        wave = [
+            env.process(
+                store.register_nsm_host_address(
+                    f"{host.name}.cs.washington.edu", f"10.9.0.{10 + index}"
+                )
+            )
+            for index, host in enumerate(movers)
+        ]
+        yield env.all_of(wave)
+        # The renewal loop keeps the new addresses alive...
+        yield env.timeout(5_000.0)
+        store.stop_lease_renewal()
+        # ...until the registrar goes away and the leases lapse.
+        yield env.timeout(4_000.0)
+
+    env.run(until=env.process(drive()))
+    assert env.stats.counters().get("bind.update.lease_expirations", 0) >= 1
     return env
 
 

@@ -185,6 +185,31 @@ def test_hns003_clean_literal_and_fstring_names():
     assert findings == []
 
 
+def test_hns003_accepts_the_bind_update_prefix():
+    # The write pipeline keeps its cross-server stats under
+    # bind.update.* (batches, lease grants/expirations, notifies).
+    findings = _lint(
+        """
+        def grant(self):
+            self.env.stats.counter("bind.update.lease_grants").increment()
+        """,
+        Hns003StatNameConvention,
+    )
+    assert findings == []
+
+
+def test_hns003_accepts_the_nsm_lease_prefix():
+    # Client-side lease renewal counts under nsm.lease.*.
+    findings = _lint(
+        """
+        def renewed(self):
+            self.env.stats.counter("nsm.lease.renewals").increment()
+        """,
+        Hns003StatNameConvention,
+    )
+    assert findings == []
+
+
 def test_hns003_accepts_the_obs_prefix():
     # The observability pipeline registers histograms per span name;
     # "obs" is a known subsystem (PR 5).
