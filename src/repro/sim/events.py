@@ -5,6 +5,13 @@ Processes ``yield`` events to suspend until they trigger.  Events carry a
 value (delivered to the waiting process) or an exception (raised inside
 the waiting process), mirroring the success/failure duality of remote
 calls in the systems built on top of the kernel.
+
+Every event class is ``__slots__``-backed: events are the single most
+allocated object in a run (one per timeout, one per process, one per
+trigger), and dict-backed attributes were a measurable share of the
+kernel hot loop.  Subclasses outside this package may still add
+attributes freely — a subclass without ``__slots__`` gets a ``__dict__``
+as usual.
 """
 
 from __future__ import annotations
@@ -44,6 +51,8 @@ class Event:
     ``RuntimeError``.
     """
 
+    __slots__ = ("env", "callbacks", "_value", "_exception", "_defused")
+
     def __init__(self, env: "Environment"):
         self.env = env
         self.callbacks: typing.Optional[
@@ -81,12 +90,13 @@ class Event:
 
     def succeed(self, value: object = None) -> "Event":
         """Trigger the event successfully with ``value``."""
-        if self.triggered:
+        if self._value is not _PENDING or self._exception is not None:
             raise RuntimeError("event already triggered")
         self._value = value
-        if self.env.monitor is not None:
-            self.env.monitor.event_triggered(self)
-        self.env._schedule(self)
+        env = self.env
+        if env.monitor is not None:
+            env.monitor.event_triggered(self)
+        env._schedule(self)
         return self
 
     def fail(self, exception: BaseException) -> "Event":
@@ -95,15 +105,16 @@ class Event:
         If no process ever waits on a failed event, the kernel surfaces
         the exception at ``run()`` time so failures never pass silently.
         """
-        if self.triggered:
+        if self._value is not _PENDING or self._exception is not None:
             raise RuntimeError("event already triggered")
         if not isinstance(exception, BaseException):
             raise TypeError("fail() requires an exception instance")
         self._exception = exception
         self._value = None
-        if self.env.monitor is not None:
-            self.env.monitor.event_triggered(self)
-        self.env._schedule(self)
+        env = self.env
+        if env.monitor is not None:
+            env.monitor.event_triggered(self)
+        env._schedule(self)
         return self
 
     def defuse(self) -> None:
@@ -119,11 +130,12 @@ class Event:
 
     def _process(self) -> None:
         """Run callbacks; called by the kernel when the event comes due."""
-        callbacks, self.callbacks = self.callbacks, None
-        assert callbacks is not None
-        for callback in callbacks:
-            callback(self)
-        if self._exception is not None and not self._defused and not callbacks:
+        callbacks = self.callbacks
+        self.callbacks = None
+        if callbacks:
+            for callback in callbacks:
+                callback(self)
+        elif self._exception is not None and not self._defused:
             # Nobody was listening; re-raise so the failure is visible.
             raise self._exception
 
@@ -131,13 +143,23 @@ class Event:
 class Timeout(Event):
     """An event that triggers ``delay`` milliseconds in the future."""
 
+    __slots__ = ("delay",)
+
     def __init__(self, env: "Environment", delay: float, value: object = None):
         if delay < 0:
             raise ValueError(f"negative delay: {delay!r}")
-        super().__init__(env)
-        self.delay = float(delay)
+        # Inlined Event.__init__ plus direct queue insertion: a Timeout
+        # is the hottest allocation in the kernel, and its delay is
+        # already validated, so the _schedule() re-check is skipped.
+        self.env = env
+        self.callbacks = []
+        self._exception = None
+        self._defused = False
+        self.delay = delay = float(delay)
         self._value = value
-        env._schedule(self, delay=self.delay)
+        eid = env._eid
+        env._eid = eid + 1
+        env._queue.push(env._now + delay, eid, self)
 
     def succeed(self, value: object = None) -> "Event":  # pragma: no cover
         raise RuntimeError("Timeout triggers itself; do not call succeed()")
@@ -156,6 +178,8 @@ class Timeout(Event):
 class _ConditionBase(Event):
     """Shared machinery for :class:`AnyOf` / :class:`AllOf`."""
 
+    __slots__ = ("events", "_done")
+
     def __init__(self, env: "Environment", events: typing.Sequence[Event]):
         super().__init__(env)
         self.events = list(events)
@@ -164,10 +188,10 @@ class _ConditionBase(Event):
             return
         self._done = 0
         for event in self.events:
-            if event.processed:
+            if event.callbacks is None:
                 self._on_child(event)
             else:
-                event._add_callback(self._on_child)
+                event.callbacks.append(self._on_child)
 
     def _collect(self) -> typing.Dict[Event, object]:
         results: typing.Dict[Event, object] = {}
@@ -187,6 +211,8 @@ class AnyOf(_ConditionBase):
     value.  A failing child fails the condition.
     """
 
+    __slots__ = ()
+
     def _on_child(self, event: Event) -> None:
         if self.triggered:
             if event._exception is not None:
@@ -205,6 +231,8 @@ class AllOf(_ConditionBase):
     Carries a dict mapping every child to its value.  The first failing
     child fails the condition.
     """
+
+    __slots__ = ()
 
     def _on_child(self, event: Event) -> None:
         if self.triggered:

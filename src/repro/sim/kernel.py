@@ -4,12 +4,18 @@
 repository — network messages, RPC calls, disk reads, cache probes — is
 expressed as processes and events scheduled here.  Time is in simulated
 milliseconds, matching the units of every number in the paper.
+
+The event queue has two back ends (:mod:`repro.sim.wheel`): the seed
+kernel's binary heap and a hierarchical timer wheel.  Both process
+events in identical ``(time, eid)`` order, so every scenario digest is
+bit-identical across back ends — the determinism checker
+(:mod:`repro.analysis.determinism`) verifies exactly that.  The wheel
+is the default; pass ``kernel_impl="heap"`` (or flip
+:data:`DEFAULT_KERNEL_IMPL`) for A/B comparison.
 """
 
 from __future__ import annotations
 
-import heapq
-import itertools
 import typing
 
 from repro.obs.span import Observability
@@ -18,6 +24,13 @@ from repro.sim.process import Process, ProcessGenerator
 from repro.sim.rng import RngRegistry
 from repro.sim.stats import StatsRegistry
 from repro.sim.trace import Tracer
+from repro.sim.wheel import QUEUE_IMPLS, HeapQueue, TimerWheel
+
+#: Queue back end used when ``Environment(kernel_impl=None)``.  The
+#: cross-back-end determinism check flips this module global the same
+#: way :attr:`~repro.obs.span.Observability.default_enabled` is flipped
+#: for the traced determinism run.
+DEFAULT_KERNEL_IMPL = "wheel"
 
 
 class SimulationError(RuntimeError):
@@ -31,8 +44,9 @@ class KernelMonitor:
     subclasses this to reconstruct happens-before ordering between
     process segments.  Every hook is a no-op here, and no hook is
     invoked at all unless :attr:`Environment.monitor` is set — the
-    instrumentation is off by default and costs one ``is None`` check
-    per kernel operation.
+    instrumentation is off by default, and the ``monitor is None``
+    check is hoisted out of the per-event path: ``run()`` selects a
+    monitored or unmonitored inner loop once, up front.
 
     Monitors must be *passive*: they may record what they see but must
     never schedule events, trigger events, or otherwise perturb the run,
@@ -67,12 +81,28 @@ class Environment:
         Master seed for the per-purpose random streams handed out by
         :attr:`rng`.  Two environments with the same seed replay the
         same simulation exactly.
+    kernel_impl:
+        Event-queue back end: ``"wheel"`` (hierarchical timer wheel,
+        the default via :data:`DEFAULT_KERNEL_IMPL`) or ``"heap"``
+        (the seed kernel's binary heap).  Digest-identical by contract.
     """
 
-    def __init__(self, seed: int = 0):
+    def __init__(self, seed: int = 0, kernel_impl: typing.Optional[str] = None):
+        if kernel_impl is None:
+            kernel_impl = DEFAULT_KERNEL_IMPL
+        if kernel_impl not in QUEUE_IMPLS:
+            known = ", ".join(sorted(QUEUE_IMPLS))
+            raise ValueError(
+                f"unknown kernel_impl {kernel_impl!r}; known: {known}"
+            )
+        self.kernel_impl = kernel_impl
         self._now: float = 0.0
-        self._queue: typing.List[typing.Tuple[float, int, Event]] = []
-        self._eid = itertools.count()
+        self._queue: typing.Union[HeapQueue, TimerWheel] = QUEUE_IMPLS[
+            kernel_impl
+        ](0.0)  # type: ignore[assignment]
+        #: Next event id; assigned in scheduling order so simultaneous
+        #: events fire FIFO.  Doubles as the events-scheduled count.
+        self._eid = 0
         self._active_process: typing.Optional[Process] = None
         self.rng = RngRegistry(seed)
         self.trace = Tracer(self)
@@ -128,24 +158,28 @@ class Environment:
     def _schedule(self, event: Event, delay: float = 0.0) -> None:
         if delay < 0:
             raise SimulationError(f"cannot schedule {delay} ms into the past")
-        heapq.heappush(self._queue, (self._now + delay, next(self._eid), event))
+        eid = self._eid
+        self._eid = eid + 1
+        self._queue.push(self._now + delay, eid, event)
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if queue is empty."""
-        return self._queue[0][0] if self._queue else float("inf")
+        return self._queue.peek()
 
     def step(self) -> None:
         """Process exactly one event (advancing the clock to it)."""
-        if not self._queue:
+        entry = self._queue.pop()
+        if entry is None:
             raise SimulationError("step() on an empty event queue")
-        when, _, event = heapq.heappop(self._queue)
-        self._now = when
-        if self.monitor is not None:
-            self.monitor.event_processing(event)
+        self._now = entry[0]
+        event = entry[2]
+        monitor = self.monitor
+        if monitor is not None:
+            monitor.event_processing(event)
             try:
                 event._process()
             finally:
-                self.monitor.event_processed(event)
+                monitor.event_processed(event)
         else:
             event._process()
 
@@ -159,9 +193,22 @@ class Environment:
         - ``until=<float>``: run until the clock reaches that time.
         - ``until=<Event>``: run until that event has been processed and
           return its value (raising its exception if it failed).
+
+        The inner loops are specialised: with no monitor attached the
+        kernel drains detached batches of ready entries (same-timestamp
+        cohorts and sorted bucket runs) with events' callbacks inlined —
+        no ``step()`` call, no per-event hook checks, no per-event queue
+        method call.  A push counter guards the batch: the moment a
+        callback schedules anything that could precede the batch's
+        unprocessed suffix, the suffix goes back to the queue and the
+        drain re-synchronises.
         """
+        queue = self._queue
         if until is None:
-            while self._queue:
+            if self.monitor is None:
+                self._drain(queue, None)
+                return None
+            while len(queue):
                 self.step()
             return None
         if isinstance(until, Event):
@@ -169,20 +216,147 @@ class Environment:
             # Defuse so the kernel does not double-report a failure we are
             # about to raise from .value below.
             target._add_callback(lambda e: e.defuse() if not e.ok else None)
-            while not target.processed:
-                if not self._queue:
+            if self.monitor is None:
+                if not target.processed:
+                    self._drain(queue, target)
+                if not target.processed:
                     raise SimulationError(
                         "event queue drained before the awaited event "
                         "triggered (deadlock?)"
                     )
-                self.step()
+            else:
+                while not target.processed:
+                    if not len(queue):
+                        raise SimulationError(
+                            "event queue drained before the awaited event "
+                            "triggered (deadlock?)"
+                        )
+                    self.step()
             return target.value
         horizon = float(until)
         if horizon < self._now:
             raise SimulationError(
                 f"run(until={horizon}) is in the past (now={self._now})"
             )
-        while self._queue and self._queue[0][0] <= horizon:
-            self.step()
+        if self.monitor is None:
+            pop = queue.pop
+            peek = queue.peek
+            while peek() <= horizon:
+                entry = pop()
+                self._now = entry[0]  # type: ignore[index]
+                entry[2]._process()  # type: ignore[index]
+        else:
+            while queue.peek() <= horizon:
+                self.step()
         self._now = horizon
         return None
+
+    def _drain(
+        self,
+        queue: typing.Union[HeapQueue, TimerWheel],
+        target: typing.Optional[Event],
+    ) -> None:
+        """Monitor-free batched inner loop (see :meth:`run`).
+
+        Processes detached batches with :meth:`Event._process` inlined.
+        Ordering argument: a batch is in global (time, eid) order when
+        detached, and everything still *in* the queue is strictly later
+        than every batch entry (later time, or same time with a larger
+        eid) — so only a *push* can introduce an entry that belongs
+        before the batch's unprocessed suffix.  The queue keeps a
+        running minimum of times pushed since the batch was detached
+        (``queue.low_push``, reset by ``take_batch``), and only
+        callbacks push — so events with no callbacks are drained with
+        zero checks, and a push check is one attribute compare, never a
+        ``peek()``.  When a callback pushed, either ``low_push`` is at
+        or past the batch's *last* entry (time ties break toward the
+        batch, whose eids are smaller) and the whole suffix is still
+        safe at full speed, or the drain drops to a *careful* gait:
+        before each remaining entry, compare ``low_push`` against its
+        time and hand the suffix back via ``requeue`` the moment a
+        pushed entry could come first.  Careful mode ends with the
+        batch.
+
+        Stops when the queue drains, or — with ``target`` — as soon as
+        ``target`` has been processed (remaining suffix requeued).
+        """
+        take_batch = queue.take_batch
+        while True:
+            batch = take_batch()
+            if batch is None:
+                return
+            tail = batch[-1][0]
+            careful = False
+            # ``_now`` is written lazily: only callbacks (and a raised
+            # unhandled failure) can observe the clock mid-drain, so
+            # events nobody waits on skip the store and the batch's
+            # final time is written once in the ``else`` arm.  A
+            # careful-mode break leaves ``_now`` at the last observed
+            # point, which is fine — the next observation re-syncs it.
+            for index, entry in enumerate(batch):
+                if careful and queue.low_push < entry[0]:
+                    queue.requeue(batch, index)
+                    break
+                event = entry[2]
+                callbacks = event.callbacks
+                event.callbacks = None
+                if callbacks:
+                    self._now = entry[0]
+                    for callback in callbacks:
+                        callback(event)
+                    if target is not None and target.callbacks is None:
+                        queue.requeue(batch, index + 1)
+                        return
+                    if not careful and queue.low_push < tail:
+                        careful = True
+                elif event._exception is not None and not event._defused:
+                    # Nobody was listening; surface the failure (the
+                    # inlined equivalent of Event._process's re-raise).
+                    self._now = entry[0]
+                    raise event._exception
+            else:
+                self._now = tail
+
+    # ------------------------------------------------------------------
+    # Kernel self-instrumentation
+    # ------------------------------------------------------------------
+    def kernel_counters(self) -> typing.Dict[str, int]:
+        """The kernel's own performance counters, as plain data.
+
+        Deliberately *not* recorded in :attr:`stats` during the run:
+        ``wheel_rotations`` and ``fastpath_schedules`` are back-end
+        implementation details, and folding them into the stats
+        registry would make scenario digests differ between the heap
+        and wheel back ends.  Call :meth:`publish_kernel_stats` (once,
+        after a run) when a benchmark wants them in the registry.
+        """
+        queue = self._queue
+        return {
+            "sim.kernel.events_scheduled": self._eid,
+            "sim.kernel.events_processed": self._eid - len(queue),
+            "sim.kernel.fastpath_schedules": queue.fastpath_schedules,
+            "sim.kernel.wheel_rotations": queue.rotations,
+        }
+
+    def publish_kernel_stats(self) -> None:
+        """Copy :meth:`kernel_counters` into the stats registry.
+
+        Opt-in and additive: call it once at the end of a run (the
+        benchmark harness does) — never from inside a registered
+        scenario, where back-end-specific counts would break the
+        cross-back-end digest contract.
+        """
+        counters = self.kernel_counters()
+        stats = self.stats
+        stats.counter("sim.kernel.events_scheduled").increment(
+            counters["sim.kernel.events_scheduled"]
+        )
+        stats.counter("sim.kernel.events_processed").increment(
+            counters["sim.kernel.events_processed"]
+        )
+        stats.counter("sim.kernel.fastpath_schedules").increment(
+            counters["sim.kernel.fastpath_schedules"]
+        )
+        stats.counter("sim.kernel.wheel_rotations").increment(
+            counters["sim.kernel.wheel_rotations"]
+        )

@@ -23,6 +23,8 @@ ProcessGenerator = typing.Generator[Event, object, object]
 class Process(Event):
     """A running simulated activity; also an event others can wait on."""
 
+    __slots__ = ("generator", "name", "_target")
+
     def __init__(
         self,
         env: "Environment",
@@ -37,10 +39,15 @@ class Process(Event):
         self.generator = generator
         self.name = name or getattr(generator, "__name__", "process")
         self._target: typing.Optional[Event] = None
-        # Kick the process off at the current simulated time.
+        # Kick the process off at the current simulated time: a start
+        # event, pre-succeeded and scheduled directly (the general
+        # succeed() path re-checks trigger state we know to be fresh).
         start = Event(env)
-        start._add_callback(self._resume)
-        start.succeed(None)
+        start.callbacks.append(self._resume)
+        start._value = None
+        if env.monitor is not None:
+            env.monitor.event_triggered(start)
+        env._schedule(start)
 
     @property
     def is_alive(self) -> bool:

@@ -21,6 +21,8 @@ if typing.TYPE_CHECKING:  # pragma: no cover
 class Request(Event):
     """Pending claim on a :class:`Resource`; triggers when granted."""
 
+    __slots__ = ("resource",)
+
     def __init__(self, resource: "Resource"):
         super().__init__(resource.env)
         self.resource = resource

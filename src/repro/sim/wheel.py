@@ -1,0 +1,410 @@
+"""Event-queue back ends: the classic heap and the hierarchical timer wheel.
+
+The kernel's scheduling contract is simple and absolute: events are
+processed in ``(time, eid)`` order, where ``eid`` is assigned in
+scheduling order — so simultaneous events fire FIFO.  Every back end
+here implements exactly that contract, which is why swapping one for
+the other is digest-invisible (the determinism checker verifies it on
+every registered scenario).
+
+Two implementations:
+
+- :class:`HeapQueue` — the seed kernel's single ``heapq`` of
+  ``(time, eid, event)`` tuples.  O(log n) per operation, C-accelerated,
+  and the A/B baseline for the wheel.
+- :class:`TimerWheel` — a two-level bucketed wheel with an overflow
+  heap, tuned for the repository's actual load: most events are either
+  *immediate* (``succeed``/``fail`` at the current time), *near-future*
+  (sub-second network latencies and compute costs), or *far-future*
+  (TTL expirations, lease sweeps, refresh-ahead deferrals).  Layout:
+
+  - an **immediate deque** for entries scheduled at the current time —
+    the ``delay == 0`` fast path is one ``list.append``-class operation,
+    no heap or bucket work at all;
+  - a **fine wheel** of ``SLOTS`` one-millisecond buckets covering the
+    next ~quarter second; a bucket is sorted once, when the cursor
+    reaches it, so insertion is an append and ordering cost is one
+    timsort over an already-mostly-ordered small list;
+  - a **coarse level** of ~quarter-second epoch buckets (a dict keyed
+    by epoch index) holding everything beyond the fine horizon, with a
+    **heap of epoch indices** as the far-future overflow structure.
+    When the fine wheel drains, the next epoch is popped and scattered
+    into fine buckets (one ``rotation``).
+
+  Scheduling is O(1) amortized; the only log factor left is the epoch
+  heap, whose size is the number of distinct ~quarter-second epochs
+  with pending events — thousands of times smaller than the event
+  count that dominates the seed heap.
+
+Entries never compare beyond ``eid`` (eids are unique), so the
+``Event`` in slot 2 of an entry tuple is never ordered.
+"""
+
+from __future__ import annotations
+
+import typing
+from bisect import insort
+from collections import deque
+from heapq import heappop, heappush
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.events import Event
+
+#: One queue entry: (absolute time ms, eid, event).
+Entry = typing.Tuple[float, int, "Event"]
+
+_INF = float("inf")
+
+
+class HeapQueue:
+    """The seed kernel's queue: one binary heap of (time, eid, event)."""
+
+    __slots__ = ("_heap", "low_push")
+
+    #: Wheel-only instrumentation, zero here so callers can read the
+    #: same attributes off either back end.
+    rotations = 0
+    fastpath_schedules = 0
+
+    def __init__(self, now: float = 0.0):
+        self._heap: typing.List[Entry] = []
+        #: Lowest time pushed since the last :meth:`take_batch` — the
+        #: kernel's batched drain reads it to detect a mid-batch push
+        #: that could belong before the batch's unprocessed suffix.
+        self.low_push = _INF
+
+    def push(self, time: float, eid: int, event: "Event") -> None:
+        if time < self.low_push:
+            self.low_push = time
+        heappush(self._heap, (time, eid, event))
+
+    def pop(self) -> typing.Optional[Entry]:
+        heap = self._heap
+        if not heap:
+            return None
+        return heappop(heap)
+
+    def peek(self) -> float:
+        heap = self._heap
+        return heap[0][0] if heap else _INF
+
+    def take_batch(self) -> typing.Optional[typing.List[Entry]]:
+        """Detach the maximal same-timestamp cohort, in (time, eid) order."""
+        heap = self._heap
+        if not heap:
+            return None
+        self.low_push = _INF
+        entry = heappop(heap)
+        batch = [entry]
+        time = entry[0]
+        while heap and heap[0][0] == time:
+            batch.append(heappop(heap))
+        return batch
+
+    def requeue(self, batch: typing.List[Entry], start: int) -> None:
+        """Return ``batch[start:]`` (unprocessed suffix) to the queue."""
+        heap = self._heap
+        for index in range(start, len(batch)):
+            heappush(heap, batch[index])
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+
+class TimerWheel:
+    """Two-level timer wheel + overflow heap (see module docstring).
+
+    The ordering contract is the global ``(time, eid)`` order.  The
+    structural invariants that deliver it:
+
+    - ``_immediate`` holds entries pushed with ``time <= _qnow``; the
+      clock never goes backward and eids grow, so the deque is already
+      sorted by ``(time, eid)`` and its head is minimal among them.
+      Any remaining fine/coarse entry is *strictly* later in time than
+      the immediate head, so the only head-to-head comparison needed is
+      immediate-vs-active.
+    - ``_active`` is the current fine bucket, sorted, consumed from
+      ``_pos``.  Entries landing at or before the cursor's tick (which
+      can happen after ``run(until=<float>)`` parks the clock past the
+      last pop) are ``insort``-ed into it; they always land at or after
+      ``_pos`` because their times exceed every consumed entry's.
+    - fine buckets strictly after the cursor hold ticks in
+      ``(cursor, SLOTS)`` relative to ``_base``; coarse epochs hold
+      everything later; the epoch heap yields epochs in order.
+    """
+
+    __slots__ = (
+        "_qnow",
+        "_base",
+        "_cursor",
+        "_fine",
+        "_occ",
+        "_active",
+        "_pos",
+        "_immediate",
+        "_coarse",
+        "_epochs",
+        "_n",
+        "rotations",
+        "fastpath_schedules",
+        "low_push",
+    )
+
+    #: Fine buckets per rotation; one bucket spans 1 simulated ms, so
+    #: the fine horizon is ~a quarter second — sized to hold the
+    #: sub-second latency/compute events that dominate between TTL
+    #: sweeps.
+    SLOTS = 256
+    SHIFT = 8  # log2(SLOTS): epoch index = tick >> SHIFT
+
+    def __init__(self, now: float = 0.0):
+        tick = int(now)
+        self._qnow = now
+        self._base = (tick >> self.SHIFT) << self.SHIFT
+        self._cursor = tick - self._base
+        self._fine: typing.List[typing.List[Entry]] = [
+            [] for _ in range(self.SLOTS)
+        ]
+        #: Bitmask of occupied fine buckets — bit ``i`` set iff
+        #: ``_fine[i]`` is nonempty.  All set bits are strictly past the
+        #: cursor, so ``_settle`` finds the next occupied bucket with
+        #: one shift and one lowest-set-bit extraction instead of a
+        #: Python-level scan over empty slots.
+        self._occ = 0
+        self._active: typing.List[Entry] = []
+        self._pos = 0
+        self._immediate: typing.Deque[Entry] = deque()
+        self._coarse: typing.Dict[int, typing.List[Entry]] = {}
+        self._epochs: typing.List[int] = []
+        self._n = 0
+        #: Fine-wheel refills from the coarse level (diagnostics).
+        self.rotations = 0
+        #: Entries that took the immediate (delay == 0) fast path.
+        self.fastpath_schedules = 0
+        #: Lowest time pushed since the last :meth:`take_batch` — the
+        #: kernel's batched drain reads it to detect a mid-batch push
+        #: that could belong before the batch's unprocessed suffix.
+        self.low_push = _INF
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def push(self, time: float, eid: int, event: "Event") -> None:
+        self._n += 1
+        if time < self.low_push:
+            self.low_push = time
+        entry = (time, eid, event)
+        if time <= self._qnow:
+            # The succeed()/fail()/timeout(0) fast path: no bucket math.
+            self._immediate.append(entry)
+            self.fastpath_schedules += 1
+            return
+        offset = int(time) - self._base
+        if offset <= self._cursor:
+            insort(self._active, entry)
+        elif offset < self.SLOTS:
+            self._fine[offset].append(entry)
+            self._occ |= 1 << offset
+        else:
+            epoch = int(time) >> self.SHIFT
+            bucket = self._coarse.get(epoch)
+            if bucket is None:
+                self._coarse[epoch] = [entry]
+                heappush(self._epochs, epoch)
+            else:
+                bucket.append(entry)
+
+    # ------------------------------------------------------------------
+    # Consumption
+    # ------------------------------------------------------------------
+    def pop(self) -> typing.Optional[Entry]:
+        while True:
+            pos = self._pos
+            active = self._active
+            if pos < len(active):
+                entry = active[pos]
+                immediate = self._immediate
+                if immediate and immediate[0] < entry:
+                    entry = immediate.popleft()
+                else:
+                    self._pos = pos + 1
+                self._n -= 1
+                self._qnow = entry[0]
+                return entry
+            immediate = self._immediate
+            if immediate:
+                # Everything still in the wheel is strictly later than
+                # the immediate head (see class docstring).
+                entry = immediate.popleft()
+                self._n -= 1
+                self._qnow = entry[0]
+                return entry
+            if self._n == 0:
+                return None
+            self._settle()
+
+    def peek(self) -> float:
+        if self._pos >= len(self._active) and self._n > len(self._immediate):
+            self._settle()
+        head = _INF
+        if self._pos < len(self._active):
+            head = self._active[self._pos][0]
+        immediate = self._immediate
+        if immediate and immediate[0][0] < head:
+            head = immediate[0][0]
+        return head
+
+    def take_batch(self) -> typing.Optional[typing.List[Entry]]:
+        """Detach a sorted run of ready entries for the kernel to drain.
+
+        The batch is everything currently due: the active bucket's
+        remainder, the immediate deque, or their merge — all of it in
+        global (time, eid) order *provided no new entries are pushed
+        while it is processed*.  The kernel's drain loop watches
+        :attr:`low_push` (reset here) and hands the unprocessed suffix
+        back via :meth:`requeue` the moment a pushed entry could belong
+        before it, so detachment never reorders.
+
+        When the active bucket and immediate deque are spent, a whole
+        *rotation* is promoted at once: every occupied fine bucket (in
+        tick order, each sorted) is concatenated into one batch —
+        consecutive sorted buckets concatenate into a sorted run, so
+        this is order-exact and turns a sparse rotation's worth of
+        bucket-at-a-time takes into a single detach.
+
+        ``_qnow`` deliberately does not advance with the batch: a stale
+        (lagging) ``_qnow`` only narrows the immediate fast path — a
+        push at the current clock routes to the insort path instead
+        (into the detached-empty active list, so it is equally cheap) —
+        it can never misorder.  Advancing ``_qnow`` to the batch tail
+        would be wrong: mid-batch pushes at *varying* future times would
+        then all take the immediate deque, breaking its sortedness
+        invariant.
+        """
+        self.low_push = _INF
+        pos = self._pos
+        active = self._active
+        immediate = self._immediate
+        if pos < len(active):
+            if immediate:
+                batch = active[pos:]
+                batch.extend(immediate)
+                batch.sort()
+                immediate.clear()
+            elif pos:
+                batch = active[pos:]
+            else:
+                batch = active
+            self._active = []
+            self._pos = 0
+            self._n -= len(batch)
+            return batch
+        if immediate:
+            batch = list(immediate)
+            immediate.clear()
+            self._n -= len(batch)
+            return batch
+        if self._n == 0:
+            return None
+        occ = self._occ
+        if not occ:
+            # Fine wheel empty: the next coarse epoch *is* the next
+            # batch.  Skip the scatter entirely — one sort of the epoch
+            # bucket is the same (time, eid) order the fine wheel would
+            # have produced tick by tick.  The cursor parks at the end
+            # of the epoch window so pushes landing inside it insort
+            # into the (detached-empty) active list.
+            epoch = heappop(self._epochs)
+            batch = self._coarse.pop(epoch)
+            self._base = epoch << self.SHIFT
+            self._cursor = self.SLOTS - 1
+            batch.sort()
+            self.rotations += 1
+            self._n -= len(batch)
+            return batch
+        fine = self._fine
+        batch = []
+        extend = batch.extend
+        cursor = self._cursor
+        while occ:
+            low = occ & -occ
+            cursor = low.bit_length() - 1
+            occ ^= low
+            bucket = fine[cursor]
+            fine[cursor] = []
+            if len(bucket) > 1:
+                bucket.sort()
+            extend(bucket)
+        self._occ = 0
+        self._cursor = cursor
+        self._active = []
+        self._pos = 0
+        self._n -= len(batch)
+        return batch
+
+    def requeue(self, batch: typing.List[Entry], start: int) -> None:
+        """Return ``batch[start:]`` (unprocessed suffix) to the queue.
+
+        Merged with whatever callbacks insorted into ``_active`` while
+        the batch was detached; both runs are sorted, so the merge is a
+        single near-linear timsort.
+        """
+        rest = batch[start:]
+        self._n += len(rest)
+        pos = self._pos
+        active = self._active
+        if pos < len(active):
+            rest.extend(active[pos:] if pos else active)
+            rest.sort()
+        self._active = rest
+        self._pos = 0
+
+    def _settle(self) -> None:
+        """Advance the cursor until ``_active`` has a head (or nothing
+        but immediate entries remains)."""
+        while self._pos >= len(self._active):
+            occ = self._occ
+            if occ:
+                # Every set bit is strictly past the cursor (earlier
+                # buckets were drained or insorted into the active
+                # list), so the lowest set bit is the next bucket.
+                low = occ & -occ
+                cursor = low.bit_length() - 1
+                self._occ = occ ^ low
+                fine = self._fine
+                bucket = fine[cursor]
+                fine[cursor] = []
+                if len(bucket) > 1:
+                    bucket.sort()
+                self._active = bucket
+                self._pos = 0
+                self._cursor = cursor
+                return
+            if self._epochs:
+                epoch = heappop(self._epochs)
+                entries = self._coarse.pop(epoch)
+                base = epoch << self.SHIFT
+                self._base = base
+                self._cursor = -1
+                fine = self._fine
+                occ = 0
+                for entry in entries:
+                    index = int(entry[0]) - base
+                    fine[index].append(entry)
+                    occ |= 1 << index
+                self._occ = occ
+                self._active = []
+                self._pos = 0
+                self.rotations += 1
+                continue
+            return
+
+    def __len__(self) -> int:
+        return self._n
+
+
+#: kernel_impl name -> queue factory.
+QUEUE_IMPLS: typing.Dict[str, typing.Callable[[float], object]] = {
+    "heap": HeapQueue,
+    "wheel": TimerWheel,
+}

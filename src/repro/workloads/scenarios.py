@@ -68,7 +68,7 @@ from repro.resolution import (
     ResolutionPolicy,
     UpdatePolicy,
 )
-from repro.sim import ConstantLatency, Environment
+from repro.sim import ConstantLatency, Environment, Interrupt
 
 # Fixed well-known deployment constants for the testbed.
 BIND_NS = "BIND-cs"
@@ -894,6 +894,136 @@ def _mass_renumbering_scenario(seed: int) -> Environment:
 
     env.run(until=env.process(drive()))
     assert env.stats.counters().get("bind.update.lease_expirations", 0) >= 1
+    return env
+
+
+def build_million_client_zipf(
+    seed: int = 0,
+    clients: int = 1_000_000,
+    contexts: int = 10_000,
+    mean_interarrival_ms: float = 0.05,
+    lookup_min_ms: float = 5.0,
+    lookup_max_ms: float = 40.0,
+    ttl_ms: float = 30_000.0,
+    sweep_interval_ms: float = 60_000.0,
+    zipf_s: float = 1.1,
+) -> Environment:
+    """The million-client regime: Zipf-distributed context lookups.
+
+    A closed-form model of the load the ROADMAP's north star implies —
+    a very large client population resolving names Zipf-distributed
+    over contexts, against a shared TTL cache.  It deliberately skips
+    the full testbed (no sockets, no servers): the point is the
+    *kernel*, and the event mix is exactly the one the timer wheel is
+    shaped for — ``delay == 0`` cache hits (immediate deque),
+    millisecond-scale lookups (fine wheel), and multi-second TTL sweeps
+    (coarse epochs).  ``benchmarks/bench_kernel.py`` runs it at full
+    size on both queue back ends; the registered scenario below runs a
+    sampled size so determinism quad-runs stay fast.
+
+    Clients arrive at exponential interarrivals and live only as long
+    as their one request, so the live-process count stays bounded by
+    (arrival rate x lookup time) — a million clients never means a
+    million suspended generators.
+    """
+    from bisect import bisect_left as _bisect_left
+
+    env = Environment(seed=seed)
+    stats = env.stats
+    requests = stats.counter("sim.mclient.requests")
+    hits = stats.counter("sim.mclient.cache_hits")
+    misses = stats.counter("sim.mclient.cache_misses")
+    evictions = stats.counter("sim.mclient.ttl_evictions")
+    # Streaming: a million samples per timer is exactly the memory bloat
+    # the streaming mode exists to avoid.
+    latency = stats.timer("sim.mclient.latency", streaming=True)
+    arrivals = env.rng.stream("mclient.arrivals")
+    picks = env.rng.stream("mclient.zipf")
+    lookups = env.rng.stream("mclient.lookup")
+
+    # Zipf over context ranks: cumulative weights + bisect per draw.
+    cums: typing.List[float] = []
+    total = 0.0
+    for rank in range(1, contexts + 1):
+        total += rank ** -zipf_s
+        cums.append(total)
+
+    cache: typing.Dict[int, float] = {}
+    state = {"completed": 0}
+    done = env.event()
+
+    def client(context_id: int):
+        requests.increment()
+        expiry = cache.get(context_id)
+        if expiry is not None and expiry > env.now:
+            hits.increment()
+            # Cache hit: zero-delay turnaround (the immediate fast path).
+            yield env.timeout(0.0)
+            latency.record(0.0)
+        else:
+            misses.increment()
+            start = env.now
+            yield env.timeout(lookups.uniform(lookup_min_ms, lookup_max_ms))
+            cache[context_id] = env.now + ttl_ms
+            latency.record(env.now - start)
+        state["completed"] += 1
+        if state["completed"] == clients:
+            done.succeed(None)
+
+    def sweeper():
+        # Periodic TTL sweep: the far-future timeouts land in the
+        # wheel's coarse epochs.
+        try:
+            while True:
+                yield env.timeout(sweep_interval_ms)
+                now = env.now
+                expired = [ctx for ctx, exp in cache.items() if exp <= now]
+                for ctx in expired:
+                    del cache[ctx]
+                evictions.increment(len(expired))
+        except Interrupt:
+            pass
+
+    def drive():
+        sweep_proc = env.process(sweeper(), name="ttl-sweeper")
+        expo = arrivals.expovariate
+        rate = 1.0 / mean_interarrival_ms
+        draw = picks.random
+        for _ in range(clients):
+            yield env.timeout(expo(rate))
+            env.process(client(_bisect_left(cums, draw() * total)))
+        yield done
+        sweep_proc.interrupt()
+
+    env.run(until=env.process(drive(), name="mclient-driver"))
+    return env
+
+
+@scenario("million_client_zipf")
+def _million_client_scenario(seed: int) -> Environment:
+    """Sampled million-client run for the determinism gate.
+
+    Same builder, scaled down (~2k clients over 256 contexts) so the
+    checker's repeated runs stay fast; the full-size version lives in
+    ``benchmarks/bench_kernel.py``.  The summary trace record folds the
+    hit/miss split into the digest alongside the counters.
+    """
+    env = build_million_client_zipf(
+        seed=seed,
+        clients=2_000,
+        contexts=256,
+        mean_interarrival_ms=0.5,
+        ttl_ms=300.0,
+        sweep_interval_ms=400.0,
+    )
+    env.trace.enabled = True
+    env.trace.emit(
+        "mclient",
+        "run complete",
+        requests=env.stats.counters()["sim.mclient.requests"],
+        hits=env.stats.counters()["sim.mclient.cache_hits"],
+        misses=env.stats.counters()["sim.mclient.cache_misses"],
+    )
     return env
 
 

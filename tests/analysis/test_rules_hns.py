@@ -185,6 +185,23 @@ def test_hns003_clean_literal_and_fstring_names():
     assert findings == []
 
 
+def test_hns003_accepts_the_sim_kernel_families():
+    # The kernel publishes its queue back-end counters under
+    # sim.kernel.* (publish_kernel_stats), and the million-client
+    # scenario records under sim.mclient.*.
+    findings = _lint(
+        """
+        def publish(self):
+            self.env.stats.counter("sim.kernel.wheel_rotations").increment()
+            self.env.stats.counter("sim.kernel.fastpath_schedules").increment()
+            self.env.stats.counter("sim.mclient.cache_hits").increment()
+            self.env.stats.timer("sim.mclient.latency", streaming=True)
+        """,
+        Hns003StatNameConvention,
+    )
+    assert findings == []
+
+
 def test_hns003_accepts_the_bind_update_prefix():
     # The write pipeline keeps its cross-server stats under
     # bind.update.* (batches, lease grants/expirations, notifies).

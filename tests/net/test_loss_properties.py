@@ -83,14 +83,21 @@ def test_retries_only_happen_under_loss_or_failure(drop, seed):
     server = net.add_host("s", seg)
     ep = server.bind(9000, Echo())
     udp = DatagramTransport(net, retries=10, retry_timeout_ms=20)
+    timeouts = []
 
     def caller():
         for _ in range(5):
-            yield from udp.request(client, ep, "x")
+            try:
+                yield from udp.request(client, ep, "x")
+            except TransportTimeout:
+                # Losing all 11 attempts is ~4% per request at
+                # drop=0.5 — a legitimate outcome, not a violation.
+                timeouts.append(1)
 
     env.run(until=env.process(caller()))
     retransmits = env.stats.counters().get("net.udp.retransmits", 0)
     delivered = env.stats.counters().get("net.udp.delivered", 0)
-    assert delivered >= 5
-    assert retransmits >= 0  # and bounded by the retry budget
-    assert retransmits <= 5 * 10
+    assert delivered >= 5 - len(timeouts)
+    # Bounded by the retry budget, and a timed-out request must have
+    # burned its whole budget first.
+    assert 10 * len(timeouts) <= retransmits <= 5 * 10
