@@ -13,7 +13,11 @@ measure it with each mechanism ablated independently:
    coalescing;
 3. a Zipf workload — p50/p99 FindNSM latency and meta-server queries
    per resolution under concurrent closed-loop clients, comparing each
-   ablation against an all-hit steady state.
+   ablation against an all-hit steady state.  This one is a thin
+   definition over the registered ``fast_path`` ablation grid: the
+   workload body lives in :func:`repro.harness.grids.run_fast_path`
+   and the knob registry in
+   :data:`repro.harness.grids.FAST_PATH_GRID`.
 
 Set ``REPRO_BENCH_SMOKE=1`` for a reduced configuration (CI smoke).
 """
@@ -23,12 +27,11 @@ import os
 
 import pytest
 
-from repro.core import HNSName
-from repro.harness import DEFAULT_CALIBRATION
+from repro.harness import AblationStudy, DEFAULT_CALIBRATION
+from repro.harness.ablation import BASELINE_KEY
+from repro.harness.grids import FAST_PATH_GRID
 from repro.resolution import FastPathPolicy
 from repro.workloads import build_testbed
-from repro.workloads.scenarios import BIND_NS
-from repro.core.admin import HnsAdministrator
 
 from conftest import FIJI, run, write_bench_results
 
@@ -187,110 +190,50 @@ def test_ttl_expiry_herd(benchmark):
 
 
 # ----------------------------------------------------------------------
-# 3. Zipf workload: latency distribution per ablation
+# 3. Zipf workload: the registered ablation grid
 # ----------------------------------------------------------------------
 @pytest.mark.benchmark(group="fast_path")
 def test_zipf_latency_distribution(benchmark):
     """Closed-loop clients resolving Zipf-distributed contexts against
-    a short meta TTL.  Refresh-ahead renews popular entries before they
-    expire, so the latency tail stays at cache-hit cost instead of
+    a short meta TTL, one run per knob assignment of the registered
+    ``fast_path`` grid.  Refresh-ahead renews popular entries before
+    they expire, so the latency tail stays at cache-hit cost instead of
     absorbing periodic re-resolutions."""
-    CLIENTS = 8 if SMOKE else 16
-    CONTEXTS = 16 if SMOKE else 32
-    DURATION_MS = 20_000 if SMOKE else 90_000
-    THINK_MEAN_MS = 150.0
-    ZIPF_S = 0.9
-    # A third of the run: every context's entries expire a few times,
-    # and even tail contexts see a handful of hits per refresh window.
-    TTL_MS = 7_000.0 if SMOKE else 30_000.0
-
-    def run_workload(fast_path, ttl_ms):
-        calibration = dataclasses.replace(
-            DEFAULT_CALIBRATION, meta_ttl_ms=ttl_ms
-        )
-        testbed = build_testbed(seed=33, calibration=calibration)
-        env = testbed.env
-        hns = testbed.make_hns(testbed.client, fast_path=fast_path)
-        admin = HnsAdministrator(testbed.make_metastore(testbed.meta_host))
-
-        def register_contexts():
-            for i in range(CONTEXTS):
-                yield from admin.register_context(f"zipf-ctx-{i}", BIND_NS)
-
-        run(env, register_contexts())
-        names = [
-            HNSName(f"zipf-ctx-{i}", "fiji.cs.washington.edu")
-            for i in range(CONTEXTS)
-        ]
-        weights = [1.0 / (i + 1) ** ZIPF_S for i in range(CONTEXTS)]
-        # Warm every context once so the measurement starts from the
-        # steady state rather than the initial cold ramp.
-        def warm():
-            for name in names:
-                yield from hns.find_nsm(name, "HRPCBinding")
-
-        run(env, warm())
-        start_queries = env.stats.counter("bind.meta-bind.queries").value
-        rng = env.rng.stream("bench.zipf")
-        latencies = []
-        deadline = env.now + DURATION_MS
-
-        def client_loop():
-            while env.now < deadline:
-                name = rng.choices(names, weights)[0]
-                t0 = env.now
-                yield from hns.find_nsm(name, "HRPCBinding")
-                latencies.append(env.now - t0)
-                yield env.timeout(rng.expovariate(1.0 / THINK_MEAN_MS))
-
-        for _ in range(CLIENTS):
-            env.process(client_loop())
-        idle(env, DURATION_MS + 30_000)
-        queries = (
-            env.stats.counter("bind.meta-bind.queries").value - start_queries
-        )
-        return {
-            "finds": len(latencies),
-            "p50_ms": percentile(latencies, 50),
-            "p99_ms": percentile(latencies, 99),
-            "meta_queries_per_find": queries / max(1, len(latencies)),
-        }
+    study = AblationStudy(FAST_PATH_GRID, smoke=SMOKE)
+    specs = study.expand()
 
     def measure():
-        table = {}
-        for label, fast_path in CONFIGS:
-            table[label] = run_workload(fast_path, TTL_MS)
-        # The steady-state reference: same load, but TTLs so long that
-        # every lookup after warm-up is a cache hit (u32 wire field, so
-        # "long" tops out around 49 days).
-        table["all-hit reference"] = run_workload(
-            FastPathPolicy.disabled(), 3_000_000_000
-        )
-        return table
+        return study.execute(specs)
 
-    table = benchmark(measure)
-    write_bench_results("fast_path", "zipf_latency_distribution", table)
-    print(
-        f"\nZipf workload ({CLIENTS} clients, {CONTEXTS} contexts, "
-        f"meta TTL {TTL_MS / 1000:.0f} s):"
+    results = benchmark(measure)
+    failed = [r.spec.key for r in results if not r.ok]
+    assert not failed, failed
+    rows = {r.spec.key: r.metrics for r in results}
+    write_bench_results(
+        "fast_path",
+        "zipf_latency_distribution",
+        {"runs": rows, "importance": study.importance(results)},
     )
-    for label, row in table.items():
+    print(f"\nZipf fast-path grid ({len(results)} runs):")
+    for key, row in rows.items():
         print(
-            f"  {label:<18} {row['finds']:5d} finds, "
+            f"  {key:<24} {row['finds']:6.0f} finds, "
             f"p50 {row['p50_ms']:6.1f} ms, p99 {row['p99_ms']:7.1f} ms, "
-            f"{row['meta_queries_per_find']:.2f} meta queries/find"
+            f"{row['meta_queries_per_find']:.2f} meta queries/find, "
+            f"avail {row['availability']:.3f}"
         )
-    reference = table["all-hit reference"]
+    full = rows[BASELINE_KEY]
+    reference = rows["reference"]
     # Acceptance (full config only — the reduced smoke run lacks the
     # sample count for stable tail percentiles): with refresh-ahead the
     # tail stays within 2x of the steady-state cache-hit tail; without
     # it, expiry re-resolutions surface in p99.
     if not SMOKE:
-        assert table["full"]["p99_ms"] <= 2.0 * reference["p99_ms"]
-        assert table["no refresh"]["p99_ms"] > table["full"]["p99_ms"]
+        assert full["p99_ms"] <= 2.0 * reference["p99_ms"]
+        assert rows["fast_path=no_refresh"]["p99_ms"] > full["p99_ms"]
     # The fast path also does strictly less meta-server work per find
     # than the sequential prototype under the same load.
     assert (
-        table["full"]["meta_queries_per_find"]
-        < table["disabled"]["meta_queries_per_find"]
+        full["meta_queries_per_find"]
+        < rows["fast_path=disabled"]["meta_queries_per_find"]
     )

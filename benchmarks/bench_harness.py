@@ -1,0 +1,120 @@
+"""The ablation engine itself: fan-out correctness and parallel speedup.
+
+Two benches over :mod:`repro.harness.ablation`:
+
+1. jobs-equality — the same grid executed at ``jobs=1`` and ``jobs=4``
+   must serialize to byte-identical artifacts once wall-clock fields
+   are stripped: the engine seeds each run from its spec identity and
+   merges results in expansion order, never completion order;
+2. parallel speedup — the full cartesian fast-path grid (20 specs in
+   smoke shape) fanned over every core vs executed serially.  The
+   >=2.5x bar is asserted on hosts with >=4 cores (CI runners); the
+   measured ratio and core count are recorded either way in
+   ``BENCH_harness.json``.
+"""
+
+import os
+
+import pytest
+
+from repro.harness.ablation import (
+    AblationStudy,
+    dump_payload,
+    now_wall,
+    strip_wall_clock,
+    study_payload,
+)
+from repro.harness.grids import FAST_PATH_GRID
+
+from conftest import write_bench_results
+
+SMOKE = bool(os.environ.get("REPRO_BENCH_SMOKE"))
+
+#: Speedup bar for the parallel fan-out, asserted only where the host
+#: has enough cores for the bar to be physical.
+MIN_PARALLEL_SPEEDUP = 2.5
+MIN_CORES_FOR_BAR = 4
+
+
+def canonical(study, results, jobs):
+    """The equality view of a study: canonical JSON, wall clock stripped."""
+    payload = study_payload(study, results, jobs=jobs, wall_s=0.0)
+    return dump_payload(strip_wall_clock(payload))
+
+
+@pytest.mark.benchmark(group="harness")
+def test_jobs_equality(benchmark):
+    """A fanned execution must be indistinguishable from a serial one.
+
+    Runs the real fast-path grid (smoke shape, so the bench stays
+    CI-sized) serially and over a four-worker pool, then compares the
+    canonical artifacts byte for byte."""
+    study = AblationStudy(FAST_PATH_GRID, smoke=True)
+    specs = study.expand()
+
+    def measure():
+        serial = study.execute(specs, jobs=1)
+        fanned = study.execute(specs, jobs=4)
+        return serial, fanned
+
+    serial, fanned = benchmark(measure)
+    assert all(r.ok for r in serial), [r.spec.key for r in serial if not r.ok]
+    one = canonical(study, serial, jobs=1)
+    four = canonical(study, fanned, jobs=4)
+    assert one == four
+    write_bench_results(
+        "harness",
+        "jobs_equality",
+        {"specs": len(specs), "identical": True, "artifact_bytes": len(one)},
+    )
+    print(f"\njobs equality: {len(specs)} specs, {len(one)} canonical bytes")
+
+
+@pytest.mark.benchmark(group="harness")
+def test_parallel_speedup(benchmark):
+    """Fanning the full cartesian grid over every core vs serial.
+
+    The simulator is single-threaded and deterministic, so the grid is
+    embarrassingly parallel; on a multi-core host the fan-out must buy
+    at least :data:`MIN_PARALLEL_SPEEDUP`.  Single-core hosts record
+    the measured ratio without asserting the bar."""
+    study = AblationStudy(FAST_PATH_GRID, smoke=True)
+    specs = study.expand(full_grid=True)
+    assert len(specs) >= 8
+    cpus = os.cpu_count() or 1
+    jobs = min(cpus, len(specs))
+
+    def measure():
+        t0 = now_wall()
+        serial = study.execute(specs, jobs=1)
+        t1 = now_wall()
+        fanned = study.execute(specs, jobs=jobs)
+        t2 = now_wall()
+        return serial, fanned, t1 - t0, t2 - t1
+
+    serial, fanned, serial_s, fanned_s = benchmark.pedantic(
+        measure, rounds=1, iterations=1
+    )
+    assert all(r.ok for r in serial), [r.spec.key for r in serial if not r.ok]
+    assert canonical(study, serial, 1) == canonical(study, fanned, jobs)
+    speedup = serial_s / fanned_s if fanned_s > 0 else float("inf")
+    write_bench_results(
+        "harness",
+        "parallel_speedup",
+        {
+            "specs": len(specs),
+            "fanned_jobs": jobs,
+            "host_cpus": cpus,
+            "serial_seconds": round(serial_s, 3),
+            "fanned_seconds": round(fanned_s, 3),
+            "speedup": round(speedup, 2),
+            "bar": MIN_PARALLEL_SPEEDUP,
+            "bar_asserted": cpus >= MIN_CORES_FOR_BAR,
+        },
+    )
+    print(
+        f"\nparallel fan-out: {len(specs)} specs, serial {serial_s:.2f} s, "
+        f"jobs={jobs} {fanned_s:.2f} s -> {speedup:.2f}x on {cpus} cores"
+    )
+    if cpus >= MIN_CORES_FOR_BAR:
+        assert speedup >= MIN_PARALLEL_SPEEDUP, (speedup, cpus, jobs)

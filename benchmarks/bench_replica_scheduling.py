@@ -8,7 +8,9 @@ transfer.  Two benches measure it against that baseline:
 1. tail latency with one degraded replica — closed-loop lookups against
    a three-replica set whose primary intermittently stalls past the
    transport timeout; hedged + adaptive selection vs the prototype's
-   ordered failover (``ReplicaPolicy.disabled()``);
+   ordered failover (``ReplicaPolicy.disabled()``).  This one is a
+   thin definition over the registered ``replica_scheduling`` ablation
+   grid (:func:`repro.harness.grids.run_replica_scheduling`);
 2. refresh cost vs churn — the simulated cost of a secondary refresh
    and of a cache re-preload as a function of how many records changed,
    incremental (IXFR) vs full (AXFR) transfer.
@@ -22,13 +24,14 @@ import pytest
 
 from repro.bind import BindResolver, BindServer, ResourceRecord, RRType, SecondaryBindServer, Zone
 from repro.bind.cache import ResolverCache
-from repro.harness import DEFAULT_CALIBRATION
+from repro.harness import AblationStudy, DEFAULT_CALIBRATION
+from repro.harness.ablation import BASELINE_KEY
+from repro.harness.grids import REPLICA_GRID
 from repro.net import DatagramTransport, Internetwork
 from repro.resolution import ReplicaPolicy
 from repro.sim import ConstantLatency, Environment
 
 from conftest import run, write_bench_results
-from bench_fast_path import idle, percentile
 
 SMOKE = bool(os.environ.get("REPRO_BENCH_SMOKE"))
 CAL = DEFAULT_CALIBRATION
@@ -36,21 +39,6 @@ CAL = DEFAULT_CALIBRATION
 
 def rec(name, text, ttl=3_600_000):
     return ResourceRecord.text_record(name, text, rtype=RRType.UNSPEC, ttl=ttl)
-
-
-class FlakyServer(BindServer):
-    """A BindServer that intermittently stalls past the client timeout."""
-
-    def __init__(self, *args, stall_ms=0.0, stall_probability=0.0, **kwargs):
-        super().__init__(*args, **kwargs)
-        self.stall_ms = stall_ms
-        self.stall_probability = stall_probability
-        self._rng = self.env.rng.stream(f"bench.stall:{self.name}")
-
-    def handle(self, datagram, responder):
-        if self.stall_ms and self._rng.random() < self.stall_probability:
-            yield self.env.timeout(self.stall_ms)
-        yield from super().handle(datagram, responder)
 
 
 # ----------------------------------------------------------------------
@@ -61,99 +49,42 @@ def test_tail_latency_one_degraded_replica(benchmark):
     """The prototype's ordered failover pays the full transport timeout
     every time the (always-first) primary stalls; a hedged query
     re-issues after the latency quantile and takes the secondary's
-    answer instead, so the degradation never reaches the tail."""
-    LOOKUPS = 120 if SMOKE else 500
-    STALL_MS = 400.0
-    STALL_P = 0.15
-    CONFIGS = (
-        ("hedged", ReplicaPolicy()),
-        ("ordered failover", ReplicaPolicy.disabled()),
-    )
-
-    def run_config(replica_policy):
-        env = Environment(seed=61)
-        net = Internetwork(env)
-        seg = net.add_segment(
-            latency=ConstantLatency(CAL.wire_base_ms, CAL.wire_per_byte_ms)
-        )
-        client = net.add_host("client", seg)
-        hosts = [net.add_host(f"ns{i}", seg) for i in range(3)]
-
-        def make_zone():
-            zone = Zone("hns")
-            zone.add(rec("a.ctx.hns", "ns=one"))
-            return zone
-
-        # The primary is the flaky one; both secondaries are healthy.
-        primary = FlakyServer(
-            hosts[0],
-            zones=[make_zone()],
-            lookup_cost_ms=CAL.meta_bind_lookup_ms,
-            stall_ms=STALL_MS,
-            stall_probability=STALL_P,
-        )
-        replicas = [
-            BindServer(
-                host,
-                zones=[make_zone()],
-                lookup_cost_ms=CAL.meta_bind_lookup_ms,
-            )
-            for host in hosts[1:]
-        ]
-        primary_ep = primary.listen()
-        secondary_eps = [replica.listen() for replica in replicas]
-        udp = DatagramTransport(net, retries=0, retry_timeout_ms=100)
-        resolver = BindResolver(
-            client,
-            udp,
-            primary_ep,
-            secondaries=secondary_eps,
-            replica_policy=replica_policy,
-            name="bench",
-        )
-        latencies = []
-
-        def client_loop():
-            for _ in range(LOOKUPS):
-                start = env.now
-                yield from resolver.lookup("a.ctx.hns", RRType.UNSPEC)
-                latencies.append(env.now - start)
-                yield env.timeout(5.0)
-
-        run(env, client_loop())
-        idle(env, 2_000)  # drain hedge-loser legs
-        counters = env.stats.counters()
-        return {
-            "lookups": len(latencies),
-            "p50_ms": percentile(latencies, 50),
-            "p99_ms": percentile(latencies, 99),
-            "max_ms": max(latencies),
-            "hedges": counters.get("bind.bench.hedges", 0),
-            "failovers": counters.get("bind.bench.failovers", 0),
-        }
+    answer instead, so the degradation never reaches the tail.  One
+    run per knob assignment of the registered ``replica_scheduling``
+    grid (replica scheduling x primary health)."""
+    study = AblationStudy(REPLICA_GRID, smoke=SMOKE)
+    specs = study.expand()
 
     def measure():
-        return {label: run_config(policy) for label, policy in CONFIGS}
+        return study.execute(specs)
 
-    table = benchmark(measure)
-    write_bench_results("replica_scheduling", "tail_latency_one_degraded_replica", table)
-    print(
-        f"\ntail latency, primary stalls {STALL_MS:.0f} ms with "
-        f"p={STALL_P} ({LOOKUPS} lookups):"
+    results = benchmark(measure)
+    failed = [r.spec.key for r in results if not r.ok]
+    assert not failed, failed
+    rows = {r.spec.key: r.metrics for r in results}
+    write_bench_results(
+        "replica_scheduling",
+        "tail_latency_one_degraded_replica",
+        {"runs": rows, "importance": study.importance(results)},
     )
-    for label, row in table.items():
+    print(f"\nreplica-scheduling grid ({len(results)} runs):")
+    for key, row in rows.items():
         print(
-            f"  {label:<17} p50 {row['p50_ms']:6.1f} ms, "
+            f"  {key:<16} p50 {row['p50_ms']:6.1f} ms, "
             f"p99 {row['p99_ms']:6.1f} ms, max {row['max_ms']:6.1f} ms, "
-            f"{row['hedges']:3d} hedges, {row['failovers']:3d} failovers"
+            f"{row['hedges']:4.0f} hedges, {row['failovers']:3.0f} failovers"
         )
-    hedged = table["hedged"]
-    ordered = table["ordered failover"]
+    hedged = rows[BASELINE_KEY]
+    ordered = rows["replica=ordered"]
+    healthy = rows["primary=healthy"]
     # Acceptance: hedging cuts the degraded-replica p99 by >=2x and
     # actually fired; the ordered baseline eats the transport timeout.
     assert hedged["hedges"] > 0
     assert hedged["p99_ms"] <= ordered["p99_ms"] / 2.0
     assert ordered["p99_ms"] >= 100.0
+    # With a healthy primary there is nothing to hedge around: the
+    # gain comes from masking the degradation, not a free speedup.
+    assert healthy["p99_ms"] <= hedged["p99_ms"]
 
 
 # ----------------------------------------------------------------------

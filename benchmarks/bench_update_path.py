@@ -2,210 +2,78 @@
 
 The :class:`~repro.resolution.UpdatePolicy` layer is an extension
 beyond the paper's prototype, whose dynamic updates travel one record
-per round trip and whose only invalidation is TTL expiry.  Two benches
-measure it against that baseline:
+per round trip and whose only invalidation is TTL expiry.  The bench
+is a thin definition over the registered ``update_path`` ablation grid
+(:func:`repro.harness.grids.run_update_path`): every knob assignment
+measures
 
-1. staleness window after a rebinding — a writer re-registers a context
-   while a fleet of warm readers polls it; time from the write to each
-   reader observing the new binding, pure TTL vs lease-capped TTLs vs
-   NOTIFY-pushed IXFR deltas;
+1. the staleness window after a rebinding — a writer re-registers a
+   context while a fleet of warm readers polls it; time from the write
+   to each reader observing the new binding, pure TTL vs lease-capped
+   TTLs vs NOTIFY-pushed IXFR deltas (the ``invalidation`` knob);
 2. registration-storm batching — meta-server round trips for an
    N-writer registration storm, coalesced through the batched pipeline
-   vs the prototype's one-update-per-record writes, swept over the
-   storm size.
+   vs the prototype's one-update-per-record writes (the ``batch``
+   knob).
 
 Set ``REPRO_BENCH_SMOKE=1`` for a reduced configuration (CI smoke).
 """
 
-import dataclasses
 import os
 
 import pytest
 
-from repro.harness import DEFAULT_CALIBRATION
-from repro.resolution import (
-    DEFAULT_RESOLUTION_POLICY,
-    PolicySet,
-    UpdatePolicy,
-)
-from repro.workloads.scenarios import build_testbed
+from repro.harness import AblationStudy
+from repro.harness.ablation import BASELINE_KEY
+from repro.harness.grids import UPDATE_GRID
 
-from conftest import run, write_bench_results
+from conftest import write_bench_results
 
 SMOKE = bool(os.environ.get("REPRO_BENCH_SMOKE"))
 
-#: The prototype pins a one-hour meta TTL; pure-TTL staleness at that
-#: setting would dwarf the plot, so the ablation runs a 60 s TTL and
-#: the ratios below speak for any setting.
-CAL_FAST_TTL = dataclasses.replace(DEFAULT_CALIBRATION, meta_ttl_ms=60_000.0)
-
-UPDATE_MODES = {
-    "ttl": UpdatePolicy(),
-    "lease": UpdatePolicy(invalidation="lease", lease_ms=5_000.0),
-    "notify": UpdatePolicy(invalidation="notify"),
-}
-
-
-def idle(env, ms):
-    def sleeper():
-        yield env.timeout(ms)
-
-    run(env, sleeper())
-
 
 @pytest.mark.benchmark(group="update_path")
-def test_staleness_window_ablation(benchmark):
-    """How long readers serve a retracted binding, per invalidation
-    mode.  Leases cap every advertised TTL to the lease remainder;
-    NOTIFY pushes the delta, so staleness collapses to the debounce
-    window plus the poll quantum."""
-    READERS = 4 if SMOKE else 8
-    POLL_MS = 250.0
-
-    def staleness_for(mode):
-        update = UPDATE_MODES[mode]
-        testbed = build_testbed(
-            seed=29, calibration=CAL_FAST_TTL, update_policy=update
-        )
-        env = testbed.env
-        writer = testbed.make_metastore(
-            testbed.agent_host,
-            policies=PolicySet(
-                resolution=DEFAULT_RESOLUTION_POLICY, update=update
-            ),
-        )
-        readers = [
-            testbed.make_metastore(testbed.client) for _ in range(READERS)
-        ]
-        observed = [None] * READERS
-        change_at = {}
-
-        def poller(index):
-            reader = readers[index]
-            while True:
-                ns = yield from reader.context_to_name_service("storm")
-                if ns == "ns-v2":
-                    observed[index] = env.now - change_at["t"]
-                    return
-                yield env.timeout(POLL_MS)
-
-        def refresh(reader):
-            ns = yield from reader.context_to_name_service("storm")
-            assert ns == "ns-v1"
-
-        def drive():
-            yield from writer.register_context("storm", "ns-v1")
-            for reader in readers:
-                yield from refresh(reader)
-                if update.notify:
-                    yield from reader.subscribe_invalidation()
-            yield env.timeout(max(0.0, 9_500.0 - env.now))
-            # Refresh every reader just before the rebinding so the
-            # lease-capped TTLs are live when the write lands; in pure
-            # TTL mode these are cache hits and change nothing.
-            yield env.all_of([env.process(refresh(r)) for r in readers])
-            yield env.timeout(250.0)
-            change_at["t"] = env.now
-            yield from writer.register_context("storm", "ns-v2")
-            pollers = [env.process(poller(i)) for i in range(READERS)]
-            yield env.all_of(pollers)
-
-        requests_before = env.stats.counters().get("bind.meta-bind.requests", 0)
-        run(env, drive())
-        requests = (
-            env.stats.counters().get("bind.meta-bind.requests", 0)
-            - requests_before
-        )
-        assert all(s is not None for s in observed)
-        return {
-            "staleness_ms_max": max(observed),
-            "staleness_ms_mean": sum(observed) / len(observed),
-            "meta_requests": requests,
-        }
+def test_update_path_grid(benchmark):
+    """How long readers serve a retracted binding per invalidation
+    mode, and how many round trips a registration storm costs per
+    batching mode.  Leases cap every advertised TTL to the lease
+    remainder; NOTIFY pushes the delta, so staleness collapses to the
+    debounce window plus the poll quantum; client-side coalescing
+    flushes a whole storm window as one batched exchange."""
+    study = AblationStudy(UPDATE_GRID, smoke=SMOKE)
+    specs = study.expand()
 
     def measure():
-        return {mode: staleness_for(mode) for mode in UPDATE_MODES}
+        return study.execute(specs)
 
-    table = benchmark(measure)
+    results = benchmark(measure)
+    failed = [r.spec.key for r in results if not r.ok]
+    assert not failed, failed
+    rows = {r.spec.key: r.metrics for r in results}
     write_bench_results(
         "update_path",
-        "staleness_window",
-        {"readers": READERS, "poll_ms": POLL_MS, "modes": table},
+        "ablation_grid",
+        {"runs": rows, "importance": study.importance(results)},
     )
-    ttl = table["ttl"]["staleness_ms_max"]
-    lease = table["lease"]["staleness_ms_max"]
-    notify = table["notify"]["staleness_ms_max"]
-    # The acceptance bar: each invalidation mode cuts the staleness
-    # window at least 5x against pure TTL expiry.
-    assert ttl / lease >= 5.0, (ttl, lease)
-    assert ttl / notify >= 5.0, (ttl, notify)
-    assert notify < lease  # push beats polling the lease out
-
-
-@pytest.mark.benchmark(group="update_path")
-def test_registration_storm_batching(benchmark):
-    """Meta-server round trips for an N-writer registration storm:
-    client-side coalescing flushes the whole window as one batched
-    exchange (a few, past the 64-op wire cap)."""
-    SIZES = (8, 32) if SMOKE else (8, 32, 128)
-    # Both arms get the same patient policy: at storm scale the
-    # prototype's one-update-per-record writes queue long enough at the
-    # server to blow the default 1 s call timeout and trip the breaker.
-    # Round trips are the metric here, not latency-to-failure.
-    patient = dataclasses.replace(
-        DEFAULT_RESOLUTION_POLICY,
-        call_timeout_ms=30_000.0,
-        breaker_threshold=10_000,
-    )
-
-    def storm(n, batched):
-        update = UpdatePolicy() if batched else UpdatePolicy.disabled()
-        testbed = build_testbed(seed=31, update_policy=UpdatePolicy())
-        env = testbed.env
-        # The prototype's single-op updates ride the transport's own
-        # retransmit clock; give it the same patience.
-        testbed.udp.retry_timeout_ms = 60_000.0
-        store = testbed.make_metastore(
-            testbed.agent_host,
-            policies=PolicySet(resolution=patient, update=update),
+    print(f"\nupdate-path grid ({len(results)} runs):")
+    for key, row in rows.items():
+        print(
+            f"  {key:<20} staleness max {row['staleness_ms_max']:8.1f} ms, "
+            f"storm {row['storm_round_trips']:3.0f} round trips "
+            f"/ {row['storm_ops']:.0f} ops"
         )
-        # Round trips = datagrams delivered to the meta server: the
-        # legacy path sends one update per record, the pipeline one
-        # UpdateBatchRequest per flushed window.
-        before = env.stats.counters().get("net.udp.delivered", 0)
-        started = env.now
-
-        def drive():
-            writers = [
-                env.process(store.register_context(f"ctx{i}", "BIND-cs"))
-                for i in range(n)
-            ]
-            yield env.all_of(writers)
-
-        run(env, drive())
-        counters = env.stats.counters()
-        return {
-            "ops": n,
-            "round_trips": counters.get("net.udp.delivered", 0) - before,
-            "coalesced": counters.get("hns.meta.coalesced_writes", 0),
-            "storm_ms": env.now - started,
-        }
-
-    def measure():
-        out = {}
-        for n in SIZES:
-            out[f"storm_{n}"] = {
-                "batched": storm(n, batched=True),
-                "prototype": storm(n, batched=False),
-            }
-        return out
-
-    table = benchmark(measure)
-    write_bench_results("update_path", "registration_storm", table)
-    for n in SIZES:
-        row = table[f"storm_{n}"]
-        assert row["prototype"]["round_trips"] == n
-        assert row["batched"]["round_trips"] < n
-        if n >= 32:
-            # Coalescing amortizes at least 4x at storm scale.
-            assert row["batched"]["round_trips"] <= n / 4, row
+    notify = rows[BASELINE_KEY]
+    lease = rows["invalidation=lease"]
+    ttl = rows["invalidation=ttl"]
+    prototype = rows["batch=off"]
+    # The staleness acceptance bar: each invalidation mode cuts the
+    # window at least 5x against pure TTL expiry, and push beats
+    # polling the lease out.
+    assert ttl["staleness_ms_max"] / lease["staleness_ms_max"] >= 5.0
+    assert ttl["staleness_ms_max"] / notify["staleness_ms_max"] >= 5.0
+    assert notify["staleness_ms_max"] < lease["staleness_ms_max"]
+    # The storm acceptance bar: the prototype pays one round trip per
+    # record; the batched pipeline coalesces the window at least 4x.
+    assert prototype["storm_round_trips"] == prototype["storm_ops"]
+    assert notify["storm_round_trips"] < notify["storm_ops"]
+    assert notify["storm_round_trips"] <= notify["storm_ops"] / 4.0

@@ -7,11 +7,13 @@ asserts the reproduction tolerance recorded in EXPERIMENTS.md.
 """
 
 import json
+import os
 import pathlib
 
 import pytest
 
 from repro.core import Arrangement, HNSName
+from repro.harness.ablation import SCHEMA_VERSION
 from repro.workloads import build_stack, build_testbed
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
@@ -78,12 +80,16 @@ def _jsonable(value):
     return value
 
 
-def write_bench_results(bench_name, section, payload):
+def write_bench_results(bench_name, section, payload, wall_s=None, vs_baseline=None):
     """Merge ``payload`` under ``section`` in BENCH_<bench_name>.json.
 
     Machine-readable companion to the printed tables, written at the
     repo root so CI and later sessions can diff results without
-    re-parsing pytest output.
+    re-parsing pytest output.  Every file carries the schema-v2
+    envelope (``schema_version``, ``smoke``, ``wall_s``,
+    ``vs_baseline``, ``sections``) so the perf gate
+    (:mod:`repro.harness.gate`) parses all of them uniformly; files
+    written by older sessions are migrated in place on first merge.
     """
     path = REPO_ROOT / f"BENCH_{bench_name}.json"
     results = {}
@@ -92,7 +98,19 @@ def write_bench_results(bench_name, section, payload):
             results = json.loads(path.read_text())
         except ValueError:
             results = {}
-    results[section] = _jsonable(payload)
+    if results.get("schema_version") != SCHEMA_VERSION:
+        # Pre-envelope file: its top level was the sections dict.
+        results = {"sections": results}
+    results["schema_version"] = SCHEMA_VERSION
+    results["bench"] = bench_name
+    results["smoke"] = bool(os.environ.get("REPRO_BENCH_SMOKE"))
+    results.setdefault("wall_s", None)
+    results.setdefault("vs_baseline", None)
+    if wall_s is not None:
+        results["wall_s"] = wall_s
+    if vs_baseline is not None:
+        results["vs_baseline"] = _jsonable(vs_baseline)
+    results.setdefault("sections", {})[section] = _jsonable(payload)
     path.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
 
 

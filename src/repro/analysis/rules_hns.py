@@ -143,6 +143,10 @@ STAT_PREFIXES = frozenset(
         "broadcast",
         "cache",
         "ch",
+        # "harness" hosts the ablation-grid runner families
+        # harness.<grid>.* (e.g. harness.fast_path.finds,
+        # harness.toy.ticks)
+        "harness",
         "hcsfs",
         "hns",
         "hrpc",

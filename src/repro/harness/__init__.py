@@ -1,14 +1,32 @@
-"""Benchmark harness: calibration constants, experiment runner, tables."""
+"""Benchmark harness: calibration, tables, and the parallel ablation engine."""
 
 from repro.harness.calibration import Calibration, DEFAULT_CALIBRATION
 from repro.harness.tables import ComparisonTable, format_table
 from repro.harness.experiment import ExperimentResult, run_simulation
+from repro.harness.ablation import (
+    AblationStudy,
+    GridDef,
+    Knob,
+    RunResult,
+    RunSpec,
+    SCHEMA_VERSION,
+    strip_wall_clock,
+    study_payload,
+)
 
 __all__ = [
+    "AblationStudy",
     "Calibration",
     "ComparisonTable",
     "DEFAULT_CALIBRATION",
     "ExperimentResult",
+    "GridDef",
+    "Knob",
+    "RunResult",
+    "RunSpec",
+    "SCHEMA_VERSION",
     "format_table",
     "run_simulation",
+    "strip_wall_clock",
+    "study_payload",
 ]

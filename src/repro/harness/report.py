@@ -2,17 +2,22 @@
 
 ``python -m repro.harness.report [output.md]`` re-runs the headline
 experiments (Tables 3.1 and 3.2, the basic-overhead figures, baselines,
-preloading, equation (1)) and writes a consolidated paper-vs-measured
-report.  The pytest benchmarks remain the authoritative, asserted
-versions; this module is the convenience front door.
+preloading, equation (1)), folds in the committed ablation-grid
+artifacts (``BENCH_ablation_*.json``, emitted by ``python -m repro.cli
+bench``), and writes a consolidated paper-vs-measured report.  The
+pytest benchmarks remain the authoritative, asserted versions; this
+module is the convenience front door.
 """
 
 from __future__ import annotations
 
+import json
+import pathlib
 import sys
 import typing
 
 from repro.core import Arrangement, ColocationModel, HNSName
+from repro.harness.ablation import SCHEMA_VERSION
 from repro.harness.tables import ComparisonTable
 from repro.workloads import build_stack, build_testbed
 
@@ -162,7 +167,114 @@ def equation_1() -> str:
     )
 
 
-def generate_report() -> str:
+#: Metric display order for the ablation tables; anything else a grid
+#: reports follows alphabetically.
+_ABLATION_METRIC_ORDER = (
+    "p50_ms",
+    "p99_ms",
+    "availability",
+    "meta_queries_per_find",
+    "staleness_ms_max",
+    "storm_round_trips",
+)
+
+
+def _ablation_columns(runs: typing.Sequence[typing.Mapping[str, object]]) -> typing.List[str]:
+    present: typing.Set[str] = set()
+    for run in runs:
+        metrics = run.get("metrics")
+        if isinstance(metrics, dict):
+            present.update(metrics)
+    ordered = [m for m in _ABLATION_METRIC_ORDER if m in present]
+    ordered += sorted(present - set(ordered))
+    return ordered[:6]
+
+
+def _fmt_cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def ablation_tables(directory: typing.Optional[str] = None) -> str:
+    """Render every committed ``BENCH_ablation_*.json`` as a table.
+
+    One table per grid artifact: a row per run (baseline first, in the
+    engine's expansion order) and, below it, the per-knob importance
+    summary (p99 ratio vs baseline).  Artifacts with an unexpected
+    schema version are skipped with a note rather than failing the
+    report.
+    """
+    base = pathlib.Path(directory) if directory else pathlib.Path(".")
+    sections: typing.List[str] = []
+    for path in sorted(base.glob("BENCH_ablation_*.json")):
+        try:
+            data = json.loads(path.read_text(encoding="utf-8"))
+        except ValueError:
+            sections.append(f"({path.name}: unreadable, skipped)")
+            continue
+        if not isinstance(data, dict) or data.get("schema_version") != SCHEMA_VERSION:
+            sections.append(
+                f"({path.name}: schema_version != {SCHEMA_VERSION}, skipped)"
+            )
+            continue
+        runs = [r for r in data.get("runs", []) if isinstance(r, dict)]
+        shape = "smoke" if data.get("smoke") else "full"
+        columns = _ablation_columns(runs)
+        lines = [f"== Ablation grid: {data.get('grid', '?')} ({shape}) =="]
+        header = ["run"] + columns + ["digest"]
+        lines.append(" | ".join(header))
+        lines.append("-+-".join("-" * len(h) for h in header))
+        for run in runs:
+            metrics = run.get("metrics") or {}
+            digest = run.get("digest") or ""
+            cells = [str(run.get("key", "?"))]
+            if run.get("status") == "ok":
+                cells += [
+                    _fmt_cell(metrics.get(column, "")) for column in columns
+                ]
+                cells.append(str(digest)[:12])
+            else:
+                cells += ["ERROR"] * len(columns) + ["-"]
+            lines.append(" | ".join(cells))
+        importance = data.get("importance")
+        importance_lines: typing.List[str] = []
+        if isinstance(importance, dict):
+            for key in sorted(importance):
+                entry = importance[key]
+                if not isinstance(entry, dict):
+                    continue
+                # Lead with the tail metric when the grid reports one,
+                # else the grid's dominant headline metric.
+                for metric in ("p99_ms", "staleness_ms_max", "storm_round_trips"):
+                    score = entry.get(metric)
+                    if isinstance(score, dict):
+                        break
+                else:
+                    continue
+                ratio = score.get("ratio")
+                delta = score.get("delta")
+                ratio_text = (
+                    f"{ratio:.2f}x" if isinstance(ratio, (int, float)) else "n/a"
+                )
+                importance_lines.append(
+                    f"  {key:<24} {metric} {ratio_text} "
+                    f"({delta:+.2f} vs baseline)"
+                )
+        if importance_lines:
+            lines.append("")
+            lines.append("knob importance vs baseline:")
+            lines.extend(importance_lines)
+        sections.append("\n".join(lines))
+    if not sections:
+        sections.append(
+            "(no BENCH_ablation_*.json artifacts found; run "
+            "`python -m repro.cli bench all` to generate them)"
+        )
+    return "\n\n".join(sections)
+
+
+def generate_report(ablation_dir: typing.Optional[str] = None) -> str:
     """The full report as markdown text."""
     sections = [
         "# HNS reproduction report",
@@ -171,6 +283,13 @@ def generate_report() -> str:
         "asserted tolerances and the discussion of the paper's own "
         "internal inconsistencies.",
         "",
+        "This file is a generated artifact: regenerate it with "
+        "`PYTHONPATH=src python -m repro.harness.report RESULTS.md`.  The "
+        "ablation tables below read the committed "
+        "`BENCH_ablation_*.json` artifacts (emitted by `python -m "
+        "repro.cli bench`), which double as the CI perf gate's "
+        "baselines (`python -m repro.harness.gate`).",
+        "",
         table_3_1().render(),
         "",
         table_3_2().render(),
@@ -178,6 +297,8 @@ def generate_report() -> str:
         headline_figures().render(),
         "",
         equation_1(),
+        "",
+        ablation_tables(ablation_dir),
         "",
     ]
     return "\n".join(sections)

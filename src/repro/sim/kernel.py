@@ -32,6 +32,43 @@ from repro.sim.wheel import QUEUE_IMPLS, HeapQueue, TimerWheel
 #: for the traced determinism run.
 DEFAULT_KERNEL_IMPL = "wheel"
 
+#: Measured back-end guidance, by workload shape (the dispatch sweeps
+#: in ``BENCH_kernel.json``; see docs/architecture.md §14).  The wheel
+#: wins when most events are timers that fire or cancel in bulk
+#: (>=2.5x on the pure-timeout sweep); the heap's cheaper push/pop wins
+#: when events are mostly immediate and processes are short-lived
+#: (~3% on process churn, ~20% on the mixed-conditions sweep).
+KERNEL_IMPL_RECOMMENDATIONS: typing.Dict[str, str] = {
+    "standing_timers": "wheel",
+    "pure_timeout": "wheel",
+    "mixed_conditions": "heap",
+    "process_churn": "heap",
+}
+
+
+def resolve_kernel_impl(
+    kernel_impl: typing.Optional[str],
+    workload: typing.Optional[str] = None,
+) -> str:
+    """Resolve a requested back end to a concrete ``QUEUE_IMPLS`` key.
+
+    ``None`` means :data:`DEFAULT_KERNEL_IMPL`; ``"auto"`` consults
+    :data:`KERNEL_IMPL_RECOMMENDATIONS` for the given ``workload``
+    shape and falls back to the default when the shape is unknown (the
+    back ends are digest-identical by contract, so the fallback is a
+    performance choice, never a correctness one).
+    """
+    if kernel_impl is None:
+        kernel_impl = DEFAULT_KERNEL_IMPL
+    if kernel_impl == "auto":
+        kernel_impl = KERNEL_IMPL_RECOMMENDATIONS.get(
+            workload or "", DEFAULT_KERNEL_IMPL
+        )
+    if kernel_impl not in QUEUE_IMPLS:
+        known = ", ".join(sorted(QUEUE_IMPLS) + ["auto"])
+        raise ValueError(f"unknown kernel_impl {kernel_impl!r}; known: {known}")
+    return kernel_impl
+
 
 class SimulationError(RuntimeError):
     """Raised for kernel-level misuse (e.g. scheduling into the past)."""
@@ -83,18 +120,23 @@ class Environment:
         same simulation exactly.
     kernel_impl:
         Event-queue back end: ``"wheel"`` (hierarchical timer wheel,
-        the default via :data:`DEFAULT_KERNEL_IMPL`) or ``"heap"``
-        (the seed kernel's binary heap).  Digest-identical by contract.
+        the default via :data:`DEFAULT_KERNEL_IMPL`), ``"heap"`` (the
+        seed kernel's binary heap), or ``"auto"`` (pick from
+        :data:`KERNEL_IMPL_RECOMMENDATIONS` by the ``workload`` hint).
+        Digest-identical by contract.
+    workload:
+        Optional workload-shape hint (``"standing_timers"``,
+        ``"process_churn"``, ...) consulted only by
+        ``kernel_impl="auto"``.
     """
 
-    def __init__(self, seed: int = 0, kernel_impl: typing.Optional[str] = None):
-        if kernel_impl is None:
-            kernel_impl = DEFAULT_KERNEL_IMPL
-        if kernel_impl not in QUEUE_IMPLS:
-            known = ", ".join(sorted(QUEUE_IMPLS))
-            raise ValueError(
-                f"unknown kernel_impl {kernel_impl!r}; known: {known}"
-            )
+    def __init__(
+        self,
+        seed: int = 0,
+        kernel_impl: typing.Optional[str] = None,
+        workload: typing.Optional[str] = None,
+    ):
+        kernel_impl = resolve_kernel_impl(kernel_impl, workload)
         self.kernel_impl = kernel_impl
         self._now: float = 0.0
         self._queue: typing.Union[HeapQueue, TimerWheel] = QUEUE_IMPLS[

@@ -240,6 +240,19 @@ def test_hns003_accepts_the_obs_prefix():
     assert findings == []
 
 
+def test_hns003_accepts_the_harness_prefix():
+    # Ablation-grid runners count their own workload events under
+    # harness.<grid>.* (e.g. harness.fast_path.finds).
+    findings = _lint(
+        """
+        def finish(self, env, count):
+            env.stats.counter("harness.fast_path.finds").increment(count)
+        """,
+        Hns003StatNameConvention,
+    )
+    assert findings == []
+
+
 def test_hns003_skips_dynamic_names_and_other_receivers():
     findings = _lint(
         """

@@ -57,3 +57,58 @@ def test_main_writes_file(tmp_path, capsys):
 def test_main_prints_to_stdout(capsys):
     assert main([]) == 0
     assert "Table 3.1" in capsys.readouterr().out
+
+
+def test_ablation_tables_renders_artifacts(tmp_path):
+    import json
+
+    from repro.harness.report import ablation_tables
+
+    artifact = {
+        "schema_version": 2,
+        "bench": "ablation_toy",
+        "grid": "toy",
+        "smoke": True,
+        "runs": [
+            {
+                "key": "baseline",
+                "status": "ok",
+                "digest": "abc123def456",
+                "metrics": {"p50_ms": 10.0, "p99_ms": 20.0},
+            },
+            {
+                "key": "mode=boom",
+                "status": "error",
+                "digest": None,
+                "metrics": {},
+            },
+        ],
+        "importance": {
+            "k=off": {
+                "p99_ms": {
+                    "baseline": 20.0,
+                    "value": 50.0,
+                    "delta": 30.0,
+                    "ratio": 2.5,
+                }
+            }
+        },
+    }
+    (tmp_path / "BENCH_ablation_toy.json").write_text(json.dumps(artifact))
+    text = ablation_tables(str(tmp_path))
+    assert "Ablation grid: toy (smoke)" in text
+    assert "baseline" in text and "abc123def456"[:12] in text
+    assert "ERROR" in text  # the failed run is visible, not hidden
+    assert "knob importance" in text and "2.50x" in text
+
+
+def test_ablation_tables_skips_other_schemas_and_notes_empty(tmp_path):
+    import json
+
+    from repro.harness.report import ablation_tables
+
+    assert "no BENCH_ablation_" in ablation_tables(str(tmp_path))
+    (tmp_path / "BENCH_ablation_x.json").write_text(
+        json.dumps({"schema_version": 1})
+    )
+    assert "skipped" in ablation_tables(str(tmp_path))

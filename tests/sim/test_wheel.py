@@ -223,3 +223,31 @@ def test_kernel_counters_stay_out_of_stats():
         env.stats.counter("sim.kernel.events_scheduled").value
         == counters["sim.kernel.events_scheduled"]
     )
+
+
+def test_auto_kernel_impl_follows_recommendations():
+    """``kernel_impl="auto"`` pins the measured per-workload winners:
+    wheel for timer-dominated shapes, heap for churn-dominated ones,
+    and the default when the shape is unknown."""
+    from repro.sim.kernel import (
+        DEFAULT_KERNEL_IMPL,
+        KERNEL_IMPL_RECOMMENDATIONS,
+        resolve_kernel_impl,
+    )
+
+    assert KERNEL_IMPL_RECOMMENDATIONS["standing_timers"] == "wheel"
+    assert KERNEL_IMPL_RECOMMENDATIONS["pure_timeout"] == "wheel"
+    assert KERNEL_IMPL_RECOMMENDATIONS["process_churn"] == "heap"
+    assert KERNEL_IMPL_RECOMMENDATIONS["mixed_conditions"] == "heap"
+    for workload, impl in KERNEL_IMPL_RECOMMENDATIONS.items():
+        assert resolve_kernel_impl("auto", workload) == impl
+        env = Environment(seed=1, kernel_impl="auto", workload=workload)
+        assert env.kernel_impl == impl
+    # Unknown or absent shape: the default back end, never an error.
+    assert resolve_kernel_impl("auto") == DEFAULT_KERNEL_IMPL
+    assert resolve_kernel_impl("auto", "no_such_shape") == DEFAULT_KERNEL_IMPL
+    assert Environment(kernel_impl="auto").kernel_impl == DEFAULT_KERNEL_IMPL
+    # Explicit impls are untouched by the hint.
+    assert resolve_kernel_impl("heap", "standing_timers") == "heap"
+    with pytest.raises(ValueError):
+        resolve_kernel_impl("bogus")
