@@ -2,26 +2,41 @@
 
 Two halves, one gate:
 
-- **Static** (:mod:`~repro.analysis.core`, ``rules_sim``, ``rules_hns``):
-  an AST lint pass encoding this repository's invariants — SIM001 no
-  wall-clock/ambient randomness, SIM002 no blocking calls in process
-  generators, SIM003 no stale reads across yields, HNS001 TTL-tagged
-  cache inserts, HNS002 IDL-registered wire messages, HNS003 dotted
-  stats names.  Inline ``# hnslint: disable=CODE`` comments and the
-  reviewed ``hnslint-baseline.toml`` carry the intentional exceptions.
+- **Static** (:mod:`~repro.analysis.core`, ``rules_sim``, ``rules_hns``,
+  ``atomicity``): an AST lint pass encoding this repository's
+  invariants — SIM001 no wall-clock/ambient randomness, SIM002 no
+  blocking calls in process generators, SIM003 no stale reads across
+  yields, HNS001 TTL-tagged cache inserts, HNS002 IDL-registered wire
+  messages, HNS003 dotted stats names, HNS004 registered wire-message
+  field types, and (with ``--interprocedural``, backed by the may-yield
+  call graph in :mod:`~repro.analysis.callgraph`) SIM004
+  check-then-act and SIM005 await-gap captures.  Inline
+  ``# hnslint: disable=CODE`` comments and the reviewed
+  ``hnslint-baseline.toml`` carry the intentional exceptions; LINT001
+  flags pragmas that no longer silence anything.
 
 - **Runtime** (:mod:`~repro.analysis.sanitizer`,
-  :mod:`~repro.analysis.determinism`): an interleaving sanitizer that
-  reconstructs happens-before between process segments and flags
-  unordered conflicting accesses, plus a determinism checker that runs
-  every registered scenario twice per seed and diffs trace digests.
+  :mod:`~repro.analysis.determinism`, :mod:`~repro.analysis.racer`): an
+  interleaving sanitizer that reconstructs happens-before between
+  process segments and flags unordered conflicting accesses, a
+  determinism checker that runs every registered scenario twice per
+  seed and diffs trace digests, and hnsracer — schedule-perturbed
+  scenario re-runs (:mod:`~repro.analysis.perturb`) that mark static
+  race findings CONFIRMED when a sanitizer hazard witnesses them.
 
 Run it as ``python -m repro.analysis src/repro`` (or
 ``python -m repro.cli lint``); ``--format json`` emits the stable
-machine-readable report CI diffs across revisions.
+machine-readable report CI diffs across revisions.  The racer runs as
+``python -m repro.cli racer``.
 """
 
+from repro.analysis.atomicity import (
+    Sim004CheckThenActAcrossGap,
+    Sim005AwaitGapCapture,
+    interprocedural_rules,
+)
 from repro.analysis.baseline import Baseline, BaselineError, Suppression
+from repro.analysis.callgraph import CallGraph, build_callgraph
 from repro.analysis.core import (
     Finding,
     LintResult,
@@ -32,6 +47,15 @@ from repro.analysis.core import (
     lint_source,
 )
 from repro.analysis.determinism import ScenarioCheck, check_all, check_scenario
+from repro.analysis.perturb import derive_seed, monitored, perturbed
+from repro.analysis.racer import (
+    RacerFinding,
+    RacerReport,
+    ScenarioRace,
+    render_racer_json,
+    render_racer_text,
+    run_racer,
+)
 from repro.analysis.report import render_json, render_text
 from repro.analysis.sanitizer import (
     Access,
@@ -45,24 +69,38 @@ __all__ = [
     "Access",
     "Baseline",
     "BaselineError",
+    "CallGraph",
     "Finding",
     "InterleavingHazard",
     "InterleavingSanitizer",
     "LintResult",
     "ModuleSource",
+    "RacerFinding",
+    "RacerReport",
     "Rule",
     "ScenarioCheck",
+    "ScenarioRace",
     "SegmentInfo",
+    "Sim004CheckThenActAcrossGap",
+    "Sim005AwaitGapCapture",
     "Suppression",
     "Watched",
+    "build_callgraph",
     "check_all",
     "check_scenario",
     "default_rules",
+    "derive_seed",
+    "interprocedural_rules",
     "lint_paths",
     "lint_source",
     "main",
+    "monitored",
+    "perturbed",
     "render_json",
+    "render_racer_json",
+    "render_racer_text",
     "render_text",
+    "run_racer",
 ]
 
 

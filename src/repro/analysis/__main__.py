@@ -1,9 +1,10 @@
 """``python -m repro.analysis`` — the hnslint command line.
 
 Exit status 0 means every invariant held: no unsuppressed findings, no
-parse errors, and (with ``--determinism``) identical same-seed digests
-for every checked scenario.  Anything else exits 1, which is what the
-CI ``lint`` and ``determinism`` jobs key off.
+parse errors, (with ``--determinism``) identical same-seed digests for
+every checked scenario, and (with ``--check-baseline``) no stale
+baseline suppressions.  Anything else exits 1, which is what the CI
+``lint`` and ``determinism`` jobs key off.
 """
 
 from __future__ import annotations
@@ -49,6 +50,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="ignore any baseline file",
     )
     parser.add_argument(
+        "--check-baseline",
+        action="store_true",
+        help="fail if any baseline suppression matched no finding "
+        "(stale entries must be pruned, not accumulated)",
+    )
+    parser.add_argument(
+        "--interprocedural",
+        action="store_true",
+        help="build the may-yield call graph and enable the "
+        "interprocedural race rules (SIM004, SIM005)",
+    )
+    parser.add_argument(
         "--determinism",
         action="store_true",
         help="double-run registered scenarios and diff trace digests",
@@ -76,7 +89,9 @@ def run(argv: typing.Optional[typing.Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
 
     if args.list_rules:
-        for rule in default_rules():
+        from repro.analysis.atomicity import interprocedural_rules
+
+        for rule in default_rules() + interprocedural_rules():
             print(f"{rule.code} ({rule.name})")
             print(f"    {rule.rationale}")
         return 0
@@ -94,7 +109,9 @@ def run(argv: typing.Optional[typing.Sequence[str]] = None) -> int:
                 baseline = Baseline.load(args.baseline)
             else:
                 baseline = Baseline.discover()
-        result = lint_paths(paths, baseline=baseline)
+        result = lint_paths(
+            paths, baseline=baseline, interprocedural=args.interprocedural
+        )
 
     determinism = None
     if args.determinism:
@@ -108,6 +125,8 @@ def run(argv: typing.Optional[typing.Sequence[str]] = None) -> int:
         print(render_text(result, determinism))
 
     ok = result.ok and (determinism is None or all(c.ok for c in determinism))
+    if args.check_baseline and result.stale_suppressions:
+        ok = False
     return 0 if ok else 1
 
 

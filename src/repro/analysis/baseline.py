@@ -60,15 +60,40 @@ class Suppression:
             return False
         return True
 
+    def describe(self) -> str:
+        parts = [self.rule, f'path="{self.path}"']
+        if self.contains:
+            parts.append(f'contains="{self.contains}"')
+        return " ".join(parts)
+
 
 class Baseline:
-    """The full set of reviewed suppressions."""
+    """The full set of reviewed suppressions.
+
+    Match counts are tallied per entry so a full-tree run can report
+    which suppressions no longer match anything (``stale()``) — the
+    ``--check-baseline`` gate that keeps the reviewed exception list
+    from accreting dead weight.
+    """
 
     def __init__(self, suppressions: typing.Sequence[Suppression] = ()):
         self.suppressions = list(suppressions)
+        self.match_counts = [0] * len(self.suppressions)
 
     def matches(self, finding: Finding) -> bool:
-        return any(s.matches(finding) for s in self.suppressions)
+        for index, suppression in enumerate(self.suppressions):
+            if suppression.matches(finding):
+                self.match_counts[index] += 1
+                return True
+        return False
+
+    def stale(self) -> typing.List[Suppression]:
+        """Entries that matched no finding since construction."""
+        return [
+            suppression
+            for index, suppression in enumerate(self.suppressions)
+            if not self.match_counts[index]
+        ]
 
     def __len__(self) -> int:
         return len(self.suppressions)

@@ -18,8 +18,10 @@ from __future__ import annotations
 
 import ast
 import dataclasses
+import io
 import pathlib
 import re
+import tokenize
 import typing
 
 #: Inline suppression syntax: ``# hnslint: disable`` silences every rule
@@ -40,6 +42,11 @@ class Finding:
     col: int
     message: str
     snippet: str = ""
+    #: What the finding is *about* — for the race rules, the shared
+    #: attribute name (``_leases``, ``entries``).  The racer matches it
+    #: against sanitizer hazard labels/fields to mark findings
+    #: CONFIRMED; empty when a rule has no meaningful subject.
+    subject: str = ""
 
     def to_json(self) -> typing.Dict[str, object]:
         return {
@@ -49,7 +56,20 @@ class Finding:
             "col": self.col,
             "message": self.message,
             "snippet": self.snippet,
+            "subject": self.subject,
         }
+
+    @classmethod
+    def from_json(cls, data: typing.Mapping[str, object]) -> "Finding":
+        return cls(
+            rule=str(data["rule"]),
+            path=str(data["path"]),
+            line=int(data["line"]),  # type: ignore[arg-type]
+            col=int(data["col"]),  # type: ignore[arg-type]
+            message=str(data["message"]),
+            snippet=str(data.get("snippet", "")),
+            subject=str(data.get("subject", "")),
+        )
 
     def __str__(self) -> str:
         return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
@@ -63,13 +83,18 @@ class ModuleSource:
         self.text = text
         self.lines = text.splitlines()
         self.tree = ast.parse(text, filename=path)
+        self._pragmas: typing.Optional[
+            typing.Dict[int, typing.Optional[typing.FrozenSet[str]]]
+        ] = None
 
     def line_at(self, lineno: int) -> str:
         if 1 <= lineno <= len(self.lines):
             return self.lines[lineno - 1].strip()
         return ""
 
-    def finding(self, rule: "Rule", node: ast.AST, message: str) -> Finding:
+    def finding(
+        self, rule: "Rule", node: ast.AST, message: str, subject: str = ""
+    ) -> Finding:
         lineno = getattr(node, "lineno", 1)
         col = getattr(node, "col_offset", 0)
         return Finding(
@@ -79,23 +104,71 @@ class ModuleSource:
             col=col + 1,
             message=message,
             snippet=self.line_at(lineno),
+            subject=subject,
         )
+
+    @property
+    def pragmas(
+        self,
+    ) -> typing.Dict[int, typing.Optional[typing.FrozenSet[str]]]:
+        """Every suppression pragma: line -> codes (None means "all").
+
+        Built from the token stream, not raw lines, so a docstring that
+        merely *mentions* the pragma syntax (as this package's own
+        documentation does) is not a pragma.  The match is anchored: a
+        pragma is the whole comment, not a phrase inside one — a doc
+        comment quoting the syntax does not silence anything.
+        """
+        if self._pragmas is None:
+            found: typing.Dict[
+                int, typing.Optional[typing.FrozenSet[str]]
+            ] = {}
+            try:
+                tokens = tokenize.generate_tokens(
+                    io.StringIO(self.text).readline
+                )
+                for token in tokens:
+                    if token.type != tokenize.COMMENT:
+                        continue
+                    match = _SUPPRESS_RE.match(token.string)
+                    if match is None:
+                        continue
+                    codes = match.group("codes")
+                    found[token.start[0]] = (
+                        frozenset(
+                            code.strip()
+                            for code in codes.split(",")
+                            if code.strip()
+                        )
+                        if codes
+                        else None
+                    )
+            except tokenize.TokenError:  # pragma: no cover - ast parsed OK
+                pass
+            self._pragmas = found
+        return self._pragmas
+
+    def suppression_for(
+        self, lineno: int
+    ) -> typing.Optional[
+        typing.Tuple[int, typing.Optional[typing.FrozenSet[str]]]
+    ]:
+        """The pragma governing ``lineno``: same line, or a comment-only
+        line directly above.  Returns ``(pragma line, codes)``."""
+        pragmas = self.pragmas
+        if lineno in pragmas:
+            return lineno, pragmas[lineno]
+        above = lineno - 1
+        if above in pragmas and self.line_at(above).startswith("#"):
+            return above, pragmas[above]
+        return None
 
     def suppressed_codes(self, lineno: int) -> typing.Optional[typing.Set[str]]:
         """Codes silenced on ``lineno``; empty set means "all codes"."""
-        match = _SUPPRESS_RE.search(self.line_at(lineno) or "")
-        if match is None and 1 <= lineno <= len(self.lines):
-            # Also honour a suppression comment on its own line directly
-            # above the finding.
-            match = _SUPPRESS_RE.search(self.lines[lineno - 2]) if lineno >= 2 else None
-            if match is not None and not self.lines[lineno - 2].strip().startswith("#"):
-                match = None
-        if match is None:
+        entry = self.suppression_for(lineno)
+        if entry is None:
             return None
-        codes = match.group("codes")
-        if not codes:
-            return set()
-        return {code.strip() for code in codes.split(",") if code.strip()}
+        return set(entry[1]) if entry[1] is not None else set()
 
 
 class Rule:
@@ -220,6 +293,26 @@ class ImportMap:
 # ----------------------------------------------------------------------
 # The runner
 # ----------------------------------------------------------------------
+class Lint001UnusedSuppression(Rule):
+    """A ``# hnslint: disable`` pragma that silences nothing.
+
+    Emitted by the runner, not by ``check()``: whether a pragma is used
+    is only known after every rule has run over the module.
+    """
+
+    code = "LINT001"
+    name = "unused-suppression"
+    rationale = (
+        "A disable pragma that no longer matches any finding is a "
+        "silent hole: the next real violation on that line sails "
+        "through review pre-approved.  Dead pragmas are deleted, not "
+        "kept as decoration."
+    )
+
+    def check(self, module: ModuleSource) -> typing.Iterator[Finding]:
+        return iter(())
+
+
 @dataclasses.dataclass
 class LintResult:
     """Outcome of one lint run."""
@@ -229,6 +322,13 @@ class LintResult:
     suppressed: int = 0
     baselined: int = 0
     parse_errors: typing.List[str] = dataclasses.field(default_factory=list)
+    #: Baseline entries that matched nothing in this run (populated when
+    #: a baseline was in effect; ``--check-baseline`` fails on them).
+    stale_suppressions: typing.List[str] = dataclasses.field(
+        default_factory=list
+    )
+    #: May-yield call-graph shape counters (interprocedural runs only).
+    callgraph: typing.Optional[typing.Dict[str, int]] = None
 
     @property
     def ok(self) -> bool:
@@ -246,26 +346,84 @@ def default_rules() -> typing.List[Rule]:
     from repro.analysis.rules_hns import HNS_RULES
     from repro.analysis.rules_sim import SIM_RULES
 
-    return [cls() for cls in (*SIM_RULES, *HNS_RULES)]
+    return [cls() for cls in (*SIM_RULES, *HNS_RULES)] + [
+        Lint001UnusedSuppression()
+    ]
+
+
+def _lint_module(
+    module: ModuleSource,
+    active: typing.Sequence[Rule],
+    result: LintResult,
+    baseline: typing.Optional["Baseline"],
+    check_pragmas: bool,
+) -> None:
+    """Run ``active`` over one module, folding findings into ``result``."""
+    #: pragma line -> rule codes it actually silenced
+    used: typing.Dict[int, typing.Set[str]] = {}
+    for rule in active:
+        for finding in rule.check(module):
+            entry = module.suppression_for(finding.line)
+            if entry is not None and (
+                entry[1] is None or finding.rule in entry[1]
+            ):
+                used.setdefault(entry[0], set()).add(finding.rule)
+                result.suppressed += 1
+                continue
+            if baseline is not None and baseline.matches(finding):
+                result.baselined += 1
+                continue
+            result.findings.append(finding)
+    if not check_pragmas:
+        return
+    # LINT001 is deliberately immune to inline suppression (a pragma
+    # cannot vouch for itself) but goes through the baseline like any
+    # other finding.
+    meta = Lint001UnusedSuppression()
+    for line, codes in sorted(module.pragmas.items()):
+        used_codes = used.get(line, set())
+        if codes is None:
+            if used_codes:
+                continue
+            message = (
+                "unused suppression pragma: nothing on this line is "
+                "silenced by it; delete the pragma"
+            )
+        else:
+            dead = sorted(codes - used_codes)
+            if not dead:
+                continue
+            message = (
+                f"unused suppression pragma: {', '.join(dead)} "
+                "silence(s) nothing here; delete the dead code(s)"
+            )
+        finding = Finding(
+            rule=meta.code,
+            path=module.path,
+            line=line,
+            col=1,
+            message=message,
+            snippet=module.line_at(line),
+        )
+        if baseline is not None and baseline.matches(finding):
+            result.baselined += 1
+            continue
+        result.findings.append(finding)
 
 
 def lint_source(
     text: str,
     path: str = "<string>",
     rules: typing.Optional[typing.Sequence[Rule]] = None,
+    check_pragmas: bool = False,
 ) -> typing.List[Finding]:
     """Lint one source string; inline suppressions apply, baseline doesn't."""
     module = ModuleSource(path, text)
     active = list(rules) if rules is not None else default_rules()
-    findings: typing.List[Finding] = []
-    for rule in active:
-        for finding in rule.check(module):
-            codes = module.suppressed_codes(finding.line)
-            if codes is not None and (not codes or finding.rule in codes):
-                continue
-            findings.append(finding)
-    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
-    return findings
+    result = LintResult(findings=[])
+    _lint_module(module, active, result, None, check_pragmas)
+    result.findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return result.findings
 
 
 def iter_python_files(
@@ -284,15 +442,25 @@ def lint_paths(
     paths: typing.Sequence[typing.Union[str, pathlib.Path]],
     rules: typing.Optional[typing.Sequence[Rule]] = None,
     baseline: typing.Optional["Baseline"] = None,
+    interprocedural: bool = False,
+    check_pragmas: bool = True,
 ) -> LintResult:
     """Lint every ``.py`` file under ``paths``.
 
     Inline suppressions are counted in ``suppressed``; findings matched
     by the checked-in baseline are counted in ``baselined``.  Anything
     left in ``findings`` should fail CI.
+
+    With ``interprocedural=True`` every module is parsed first, a
+    project-wide may-yield call graph is built over the whole set
+    (:mod:`repro.analysis.callgraph`), and the interprocedural rules
+    (SIM004/SIM005, :mod:`repro.analysis.atomicity`) join the default
+    rule set.  ``check_pragmas`` adds the LINT001 unused-pragma
+    meta-check (on by default for tree runs).
     """
     active = list(rules) if rules is not None else default_rules()
     result = LintResult(findings=[])
+    modules: typing.List[ModuleSource] = []
     for path in iter_python_files(paths):
         try:
             module = ModuleSource(str(path), path.read_text(encoding="utf-8"))
@@ -300,16 +468,21 @@ def lint_paths(
             result.parse_errors.append(f"{path}: {err}")
             continue
         result.files_scanned += 1
-        for rule in active:
-            for finding in rule.check(module):
-                codes = module.suppressed_codes(finding.line)
-                if codes is not None and (not codes or finding.rule in codes):
-                    result.suppressed += 1
-                    continue
-                if baseline is not None and baseline.matches(finding):
-                    result.baselined += 1
-                    continue
-                result.findings.append(finding)
+        modules.append(module)
+    if interprocedural:
+        from repro.analysis.atomicity import interprocedural_rules
+        from repro.analysis.callgraph import build_callgraph
+
+        graph = build_callgraph(modules)
+        result.callgraph = graph.summary()
+        if rules is None:
+            active.extend(interprocedural_rules(graph))
+    for module in modules:
+        _lint_module(module, active, result, baseline, check_pragmas)
+    if baseline is not None:
+        result.stale_suppressions = [
+            suppression.describe() for suppression in baseline.stale()
+        ]
     result.findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
     return result
 

@@ -1,0 +1,439 @@
+"""hnsracer: yield-gap race analysis with schedule-perturbation runs.
+
+Two stages, one verdict per static finding:
+
+1. **Static**: the interprocedural lint pass (``lint_paths`` with the
+   may-yield call graph) produces SIM003/SIM004/SIM005 findings, each
+   carrying a *subject* — the shared attribute it is about.
+2. **Dynamic**: every registered ``@scenario`` is re-run under the
+   :class:`~repro.analysis.sanitizer.InterleavingSanitizer` with the
+   schedule perturbator enabled (:mod:`repro.analysis.perturb`), so
+   same-timestamp cohorts execute in seed-derived permuted orders.
+   Hazards the sanitizer reports — conflicting access pairs with no
+   happens-before path — are matched against finding subjects by their
+   watch label or field name.
+
+A static finding whose subject shows up as a dynamic hazard is
+**CONFIRMED**: the race is not just a syntactic pattern, a legal
+schedule exercises it.  Everything else stays **UNCONFIRMED** — still
+reported (the scenarios are not a complete workload model), but
+triaged behind confirmed findings.
+
+Scenario builders opt into confirmation by watching shared state when a
+monitor is present::
+
+    if isinstance(env.monitor, InterleavingSanitizer):
+        table = env.monitor.watch(table, "_leases")
+
+Perturbation is pure tie-break permutation: event times never move, so
+any digest change between the plain and perturbed runs
+(``perturbation_effective``) means the trajectory depends on FIFO
+tie-breaking — informational on its own, a bug witness when paired
+with a hazard.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import typing
+
+from repro.analysis.baseline import Baseline
+from repro.analysis.core import Finding, LintResult, lint_paths
+from repro.analysis.determinism import run_digest
+from repro.analysis.perturb import derive_seed, monitored, perturbed
+from repro.analysis.sanitizer import InterleavingSanitizer
+
+#: Bumped whenever a field changes meaning.
+RACER_JSON_VERSION = 1
+
+#: Rules whose findings the dynamic stage tries to confirm.
+RACE_RULES = ("SIM003", "SIM004", "SIM005")
+
+CONFIRMED = "CONFIRMED"
+UNCONFIRMED = "UNCONFIRMED"
+
+
+@dataclasses.dataclass(frozen=True)
+class HazardRecord:
+    """One sanitizer hazard, flattened for the report."""
+
+    scenario: str
+    label: str
+    field: str
+    description: str
+
+    def to_json(self) -> typing.Dict[str, object]:
+        return {
+            "scenario": self.scenario,
+            "label": self.label,
+            "field": self.field,
+            "description": self.description,
+        }
+
+    @classmethod
+    def from_json(cls, data: typing.Mapping[str, object]) -> "HazardRecord":
+        return cls(
+            scenario=str(data["scenario"]),
+            label=str(data["label"]),
+            field=str(data["field"]),
+            description=str(data["description"]),
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class ScenarioRace:
+    """One scenario's perturbed re-runs.
+
+    ``ok`` asserts the two *determinism* properties the racer depends
+    on: the plain build replays digest-identically, and a repeated run
+    under the same perturbation seed replays digest-identically (one
+    seed = one fixed schedule).  ``perturbation_effective`` records
+    whether any perturbed digest differed from the plain one — i.e.
+    whether this scenario's trajectory depends on FIFO tie-breaking at
+    all; it is informational, not a failure.
+    """
+
+    scenario: str
+    seed: int
+    perturb_seeds: typing.Tuple[int, ...]
+    ok: bool
+    digest_plain: str
+    digests_perturbed: typing.Tuple[str, ...]
+    perturbation_effective: bool
+    hazard_count: int
+    detail: str = ""
+
+    def to_json(self) -> typing.Dict[str, object]:
+        return {
+            "scenario": self.scenario,
+            "seed": self.seed,
+            "perturb_seeds": list(self.perturb_seeds),
+            "ok": self.ok,
+            "digest_plain": self.digest_plain,
+            "digests_perturbed": list(self.digests_perturbed),
+            "perturbation_effective": self.perturbation_effective,
+            "hazard_count": self.hazard_count,
+            "detail": self.detail,
+        }
+
+    @classmethod
+    def from_json(cls, data: typing.Mapping[str, object]) -> "ScenarioRace":
+        return cls(
+            scenario=str(data["scenario"]),
+            seed=int(data["seed"]),  # type: ignore[arg-type]
+            perturb_seeds=tuple(
+                int(s) for s in typing.cast(list, data["perturb_seeds"])
+            ),
+            ok=bool(data["ok"]),
+            digest_plain=str(data["digest_plain"]),
+            digests_perturbed=tuple(
+                str(d) for d in typing.cast(list, data["digests_perturbed"])
+            ),
+            perturbation_effective=bool(data["perturbation_effective"]),
+            hazard_count=int(data["hazard_count"]),  # type: ignore[arg-type]
+            detail=str(data.get("detail", "")),
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class RacerFinding:
+    """A static race finding plus its dynamic verdict."""
+
+    finding: Finding
+    status: str  # CONFIRMED | UNCONFIRMED
+    witnesses: typing.Tuple[str, ...] = ()  # hazard descriptions
+
+    def to_json(self) -> typing.Dict[str, object]:
+        return {
+            "finding": self.finding.to_json(),
+            "status": self.status,
+            "witnesses": list(self.witnesses),
+        }
+
+    @classmethod
+    def from_json(cls, data: typing.Mapping[str, object]) -> "RacerFinding":
+        return cls(
+            finding=Finding.from_json(
+                typing.cast(typing.Mapping[str, object], data["finding"])
+            ),
+            status=str(data["status"]),
+            witnesses=tuple(
+                str(w) for w in typing.cast(list, data["witnesses"])
+            ),
+        )
+
+
+@dataclasses.dataclass
+class RacerReport:
+    """The full hnsracer run: static verdicts plus scenario evidence."""
+
+    seed: int
+    perturb_runs: int
+    files_scanned: int
+    findings: typing.List[RacerFinding]
+    scenarios: typing.List[ScenarioRace]
+    hazards: typing.List[HazardRecord]
+    parse_errors: typing.List[str] = dataclasses.field(default_factory=list)
+    stale_suppressions: typing.List[str] = dataclasses.field(
+        default_factory=list
+    )
+
+    @property
+    def ok(self) -> bool:
+        """Gate: no findings, no parse errors, every scenario replayed."""
+        return (
+            not self.findings
+            and not self.parse_errors
+            and all(s.ok for s in self.scenarios)
+        )
+
+    def to_json(self) -> typing.Dict[str, object]:
+        return {
+            "version": RACER_JSON_VERSION,
+            "tool": "hnsracer",
+            "seed": self.seed,
+            "perturb_runs": self.perturb_runs,
+            "files_scanned": self.files_scanned,
+            "findings": [f.to_json() for f in self.findings],
+            "scenarios": [s.to_json() for s in self.scenarios],
+            "hazards": [h.to_json() for h in self.hazards],
+            "parse_errors": list(self.parse_errors),
+            "stale_suppressions": list(self.stale_suppressions),
+            "ok": self.ok,
+        }
+
+    @classmethod
+    def from_json(cls, data: typing.Mapping[str, object]) -> "RacerReport":
+        return cls(
+            seed=int(data["seed"]),  # type: ignore[arg-type]
+            perturb_runs=int(data["perturb_runs"]),  # type: ignore[arg-type]
+            files_scanned=int(data["files_scanned"]),  # type: ignore[arg-type]
+            findings=[
+                RacerFinding.from_json(f)
+                for f in typing.cast(list, data["findings"])
+            ],
+            scenarios=[
+                ScenarioRace.from_json(s)
+                for s in typing.cast(list, data["scenarios"])
+            ],
+            hazards=[
+                HazardRecord.from_json(h)
+                for h in typing.cast(list, data["hazards"])
+            ],
+            parse_errors=[
+                str(e) for e in typing.cast(list, data["parse_errors"])
+            ],
+            stale_suppressions=[
+                str(s) for s in typing.cast(list, data["stale_suppressions"])
+            ],
+        )
+
+
+def race_scenario(
+    name: str,
+    builder: typing.Callable[[int], "object"],
+    seed: int = 0,
+    perturb_runs: int = 2,
+) -> typing.Tuple[ScenarioRace, typing.List[HazardRecord]]:
+    """Run one scenario plain and perturbed; collect hazards.
+
+    Five runs: plain twice (replay check), each derived perturbation
+    seed once under the sanitizer, and the first perturbation seed a
+    second time (fixed seed = fixed schedule check).
+    """
+    env_plain = builder(seed)
+    digest_plain = run_digest(env_plain)  # type: ignore[arg-type]
+    digest_plain_b = run_digest(builder(seed))  # type: ignore[arg-type]
+    detail = ""
+    replay_ok = digest_plain == digest_plain_b
+    if not replay_ok:
+        detail = "plain replay diverged (scenario is nondeterministic)"
+
+    sanitizers: typing.List[InterleavingSanitizer] = []
+
+    def factory(env: "object") -> InterleavingSanitizer:
+        sanitizer = InterleavingSanitizer(env)  # type: ignore[arg-type]
+        sanitizers.append(sanitizer)
+        return sanitizer
+
+    perturb_seeds = tuple(
+        derive_seed(seed, index) for index in range(max(1, perturb_runs))
+    )
+    digests: typing.List[str] = []
+    with monitored(factory):
+        for perturb_seed in perturb_seeds:
+            with perturbed(perturb_seed):
+                digests.append(run_digest(builder(seed)))  # type: ignore[arg-type]
+    # Same perturbation seed, same schedule: re-run the first seed —
+    # without the sanitizer this time, because the monitor must be
+    # passive, so its absence cannot move the digest either.
+    with perturbed(perturb_seeds[0]):
+        digest_repeat = run_digest(builder(seed))  # type: ignore[arg-type]
+    perturb_ok = digest_repeat == digests[0]
+    if replay_ok and not perturb_ok:
+        detail = (
+            "perturbed replay diverged (same perturbation seed must "
+            "give the same schedule; is the sanitizer non-passive?)"
+        )
+
+    hazards: typing.List[HazardRecord] = []
+    seen: typing.Set[typing.Tuple[str, str, str]] = set()
+    for sanitizer in sanitizers:
+        for hazard in sanitizer.report():
+            key = (hazard.label, hazard.field, hazard.describe())
+            if key in seen:
+                continue
+            seen.add(key)
+            hazards.append(
+                HazardRecord(
+                    scenario=name,
+                    label=hazard.label,
+                    field=hazard.field,
+                    description=hazard.describe(),
+                )
+            )
+
+    race = ScenarioRace(
+        scenario=name,
+        seed=seed,
+        perturb_seeds=perturb_seeds,
+        ok=replay_ok and perturb_ok,
+        digest_plain=digest_plain,
+        digests_perturbed=tuple(digests),
+        perturbation_effective=any(d != digest_plain for d in digests),
+        hazard_count=len(hazards),
+        detail=detail,
+    )
+    return race, hazards
+
+
+def _matches(finding: Finding, hazard: HazardRecord) -> bool:
+    """Does a dynamic hazard witness this static finding?
+
+    By the watch-label convention, scenario builders label watched
+    state with the shared attribute name — the same name the static
+    rules record as the finding's subject.  The field name matches too,
+    for attribute-level accesses through a coarser-labelled proxy.
+    """
+    if not finding.subject:
+        return False
+    return finding.subject in (hazard.label, hazard.field)
+
+
+def run_racer(
+    paths: typing.Sequence[str],
+    scenario_names: typing.Optional[typing.Sequence[str]] = None,
+    seed: int = 0,
+    perturb_runs: int = 2,
+    baseline: typing.Optional[Baseline] = None,
+    scenarios: typing.Optional[
+        typing.Mapping[str, typing.Callable[[int], "object"]]
+    ] = None,
+) -> RacerReport:
+    """The full racer: interprocedural lint, then perturbed re-runs.
+
+    ``scenarios`` overrides the registry (tests inject fixture builders
+    through it); otherwise every registered ``@scenario`` runs, or the
+    subset named by ``scenario_names``.
+    """
+    result: LintResult = (
+        lint_paths(list(paths), baseline=baseline, interprocedural=True)
+        if paths
+        else LintResult(findings=[])
+    )
+
+    if scenarios is None:
+        from repro.workloads.scenarios import SCENARIOS
+
+        scenarios = dict(SCENARIOS)
+    if scenario_names is not None:
+        unknown = [n for n in scenario_names if n not in scenarios]
+        if unknown:
+            known = ", ".join(sorted(scenarios))
+            raise KeyError(
+                f"unknown scenario(s) {', '.join(unknown)}; known: {known}"
+            )
+        scenarios = {n: scenarios[n] for n in scenario_names}
+
+    races: typing.List[ScenarioRace] = []
+    hazards: typing.List[HazardRecord] = []
+    for name in sorted(scenarios):
+        race, scenario_hazards = race_scenario(
+            name, scenarios[name], seed=seed, perturb_runs=perturb_runs
+        )
+        races.append(race)
+        hazards.extend(scenario_hazards)
+
+    racer_findings: typing.List[RacerFinding] = []
+    for finding in result.findings:
+        if finding.rule not in RACE_RULES:
+            racer_findings.append(RacerFinding(finding, UNCONFIRMED))
+            continue
+        witnesses = tuple(
+            hazard.description
+            for hazard in hazards
+            if _matches(finding, hazard)
+        )
+        racer_findings.append(
+            RacerFinding(
+                finding,
+                CONFIRMED if witnesses else UNCONFIRMED,
+                witnesses,
+            )
+        )
+
+    return RacerReport(
+        seed=seed,
+        perturb_runs=perturb_runs,
+        files_scanned=result.files_scanned,
+        findings=racer_findings,
+        scenarios=races,
+        hazards=hazards,
+        parse_errors=list(result.parse_errors),
+        stale_suppressions=list(result.stale_suppressions),
+    )
+
+
+def render_racer_text(report: RacerReport) -> str:
+    """The human-facing racer report."""
+    lines: typing.List[str] = []
+    for error in report.parse_errors:
+        lines.append(f"parse error: {error}")
+    for racer_finding in report.findings:
+        finding = racer_finding.finding
+        lines.append(f"[{racer_finding.status}] {finding}")
+        if finding.snippet:
+            lines.append(f"    {finding.snippet}")
+        for witness in racer_finding.witnesses:
+            lines.append(f"    witness: {witness}")
+    for race in report.scenarios:
+        status = "ok" if race.ok else "FAILED"
+        effect = (
+            "tie-break sensitive"
+            if race.perturbation_effective
+            else "tie-break insensitive"
+        )
+        lines.append(
+            f"scenario {race.scenario}: {status} ({effect}, "
+            f"{len(race.perturb_seeds)} perturbed runs, "
+            f"{race.hazard_count} hazards)"
+        )
+        if race.detail:
+            lines.append(f"    {race.detail}")
+    confirmed = sum(1 for f in report.findings if f.status == CONFIRMED)
+    lines.append(
+        "hnsracer: "
+        f"{report.files_scanned} files scanned, "
+        f"{len(report.findings)} findings "
+        f"({confirmed} confirmed), "
+        f"{len(report.scenarios)} scenarios perturbed, "
+        f"{len(report.hazards)} hazards, "
+        f"{'ok' if report.ok else 'NOT OK'}"
+    )
+    return "\n".join(lines)
+
+
+def render_racer_json(report: RacerReport) -> str:
+    """The stable machine-readable racer report."""
+    return json.dumps(report.to_json(), indent=2, sort_keys=True)

@@ -13,8 +13,10 @@ import typing
 from repro.analysis.core import LintResult
 
 #: Bumped whenever a field changes meaning; additions are backwards
-#: compatible and do not bump it.
-JSON_FORMAT_VERSION = 1
+#: compatible and do not bump it.  v2: findings carry ``subject``,
+#: reports carry ``stale_suppressions`` and (under ``--interprocedural``)
+#: a ``callgraph`` summary block.
+JSON_FORMAT_VERSION = 2
 
 
 def render_text(
@@ -38,6 +40,8 @@ def render_text(
             )
             if not check.ok and check.first_divergence:
                 lines.append(f"    first divergence: {check.first_divergence}")
+    for stale in result.stale_suppressions:
+        lines.append(f"stale baseline suppression: {stale}")
     lines.append(_summary_line(result, determinism))
     return "\n".join(lines)
 
@@ -80,8 +84,11 @@ def render_json(
         "suppressed": result.suppressed,
         "baselined": result.baselined,
         "parse_errors": list(result.parse_errors),
+        "stale_suppressions": list(result.stale_suppressions),
         "ok": result.ok,
     }
+    if result.callgraph is not None:
+        payload["callgraph"] = dict(result.callgraph)
     if determinism is not None:
         payload["determinism"] = [check.to_json() for check in determinism]
         payload["ok"] = bool(payload["ok"]) and all(c.ok for c in determinism)

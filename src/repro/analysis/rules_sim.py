@@ -192,8 +192,10 @@ class Sim003StaleReadAcrossYield(Rule):
         module: ModuleSource,
         func: typing.Union[ast.FunctionDef, ast.AsyncFunctionDef],
     ) -> typing.Iterator[Finding]:
-        #: var -> (line bound, attr description); cleared on re-bind.
-        tainted: typing.Dict[str, typing.Tuple[int, str]] = {}
+        #: var -> (line bound, attr description, subject); cleared on
+        #: re-bind.  The subject (shared attribute name) feeds the
+        #: racer's hazard matching.
+        tainted: typing.Dict[str, typing.Tuple[int, str, str]] = {}
         crossed: typing.Set[str] = set()
         reported: typing.Set[str] = set()
 
@@ -214,13 +216,14 @@ class Sim003StaleReadAcrossYield(Rule):
                     and node.id in crossed
                     and node.id not in reported
                 ):
-                    line, source = tainted[node.id]
+                    line, source, subject = tainted[node.id]
                     reported.add(node.id)
                     yield module.finding(
                         self, node,
                         f"{node.id!r} snapshots {source} at line {line} and "
                         "is relied on after a yield without re-validation; "
                         "re-probe or re-bind it after resuming",
+                        subject=subject,
                     )
             # Rebinding clears the taint; new snapshot binds create it.
             for node in self._walk_unit(unit):
@@ -238,7 +241,7 @@ class Sim003StaleReadAcrossYield(Rule):
                         # For tuple unpacking of probe() only the first
                         # element (the entry) is the hazardous snapshot.
                         if source is not None and position == 0:
-                            tainted[name] = (node.lineno, source)
+                            tainted[name] = (node.lineno, *source)
             if has_yield:
                 crossed.update(tainted)
 
@@ -255,8 +258,15 @@ class Sim003StaleReadAcrossYield(Rule):
         return names
 
     @staticmethod
-    def _snapshot_source(value: typing.Optional[ast.AST]) -> typing.Optional[str]:
-        """A description of the shared state ``value`` snapshots, or None."""
+    def _snapshot_source(
+        value: typing.Optional[ast.AST],
+    ) -> typing.Optional[typing.Tuple[str, str]]:
+        """``(description, subject)`` of the state snapshotted, or None.
+
+        The subject is the shared attribute the snapshot reads (the
+        cache holding a probed entry, the stateful attribute itself) —
+        the name the racer matches against sanitizer hazards.
+        """
         if value is None:
             return None
         # yield from cache.probe(key) — the send-value, not a snapshot.
@@ -270,12 +280,13 @@ class Sim003StaleReadAcrossYield(Rule):
             if value.func.attr in _SNAPSHOT_METHODS:
                 chain = attribute_chain(value.func)
                 base = ".".join(chain[:-1]) if chain else "<cache>"
-                return f"{base}.{value.func.attr}(...)"
+                subject = chain[-2] if len(chain) >= 2 else value.func.attr
+                return f"{base}.{value.func.attr}(...)", subject
             return None
         if isinstance(value, ast.Attribute):
             if value.attr in _STATEFUL_ATTRS:
                 chain = attribute_chain(value)
-                return ".".join(chain) if chain else value.attr
+                return (".".join(chain) if chain else value.attr), value.attr
         return None
 
     @staticmethod

@@ -509,27 +509,28 @@ class BindResolver:
         masking it with stale data would hide a configuration problem.
         """
         policy = self.policy
+        cache = self.cache
         if (
-            self.cache is None
+            cache is None
             or policy is None
             or policy.stale_window_ms <= 0
             or not is_transient(err)
         ):
             return None
-        entry = self.cache.stale_entry(key, policy.stale_window_ms)
+        entry = cache.stale_entry(key, policy.stale_window_ms)
         if entry is None or entry.payload is _NEGATIVE:
             return None
-        if self.cache.format is CacheFormat.MARSHALLED:
+        if cache.format is CacheFormat.MARSHALLED:
             value, demarshal_cost = self._response_m.decode(
                 typing.cast(bytes, entry.payload)
             )
             records = QueryResponse.from_idl(value).records
             yield from self.host.cpu.compute(
-                self.cache.hit_cost(entry, demarshal_cost)
+                cache.hit_cost(entry, demarshal_cost)
             )
         else:
             records = list(typing.cast(list, entry.payload))
-            yield from self.host.cpu.compute(self.cache.hit_cost(entry))
+            yield from self.host.cpu.compute(cache.hit_cost(entry))
         self.env.stats.counter(f"bind.{self.name}.stale_hits").increment()
         self.env.trace.emit(
             "bind",
@@ -831,9 +832,10 @@ class BindResolver:
         _, demarshal_cost = self._batch_response_m.decode(response_bytes)
         yield from self.host.cpu.compute(demarshal_cost)
         total_records = 0
+        cache = self.cache
         for question, answer in zip(questions, reply.answers):
             total_records += len(answer.records)
-            if self.cache is None:
+            if cache is None:
                 continue
             if answer.status == STATUS_OK and answer.records:
                 owner_key = (
@@ -842,13 +844,13 @@ class BindResolver:
                 )
                 ttl = min(r.ttl for r in answer.records)
                 payload: object
-                if self.cache.format is CacheFormat.MARSHALLED:
+                if cache.format is CacheFormat.MARSHALLED:
                     payload, _cost = HandcodedMarshaller(
                         QUERY_RESPONSE_IDL
                     ).encode(answer.to_idl())
                 else:
                     payload = list(answer.records)
-                insert_cost = self.cache.insert(
+                insert_cost = cache.insert(
                     owner_key, payload, len(answer.records), ttl
                 )
                 yield from self.host.cpu.compute(insert_cost)
@@ -862,7 +864,7 @@ class BindResolver:
                     str(DomainName(question.name)),
                     question.rtype.value,
                 )
-                insert_cost = self.cache.insert(
+                insert_cost = cache.insert(
                     owner_key, _NEGATIVE, 0, self.negative_ttl_ms
                 )
                 yield from self.host.cpu.compute(insert_cost)

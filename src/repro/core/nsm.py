@@ -149,14 +149,15 @@ class NamingSemanticsManager:
         params: typing.Mapping[str, object],
         span: "SpanLike",
     ) -> typing.Generator:
-        if self.cache is not None:
+        cache = self.cache
+        if cache is not None:
             key = self._cache_key(hns_name, params)
-            entry, probe_cost = self.cache.probe(key)
+            entry, probe_cost = cache.probe(key)
             yield from self.host.cpu.compute(probe_cost)
             if entry is not None:
                 span.set(outcome="hit")
                 yield from self.host.cpu.compute(
-                    self.cache.hit_cost(entry) + self.cache_hit_extra_ms
+                    cache.hit_cost(entry) + self.cache_hit_extra_ms
                 )
                 self.env.stats.counter(f"nsm.{self.name}.cache_hits").increment()
                 self._maybe_refresh(key, hns_name, dict(params), entry)
@@ -171,7 +172,7 @@ class NamingSemanticsManager:
                 if flight is not None:
                     # Park on the leader's native call; pay the copy.
                     span.set(outcome="coalesced")
-                    self.cache.record_coalesced()
+                    cache.record_coalesced()
                     value = yield flight
                     yield from self.host.cpu.compute(
                         self.calibration.cache_copy_base_ms

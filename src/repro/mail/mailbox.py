@@ -59,11 +59,12 @@ class MailboxServer:
     # HRPC procedures (handlers receive a CallContext first)
     # ------------------------------------------------------------------
     def _deliver(self, ctx, mailbox: str, message: MailMessage):
-        if mailbox not in self._boxes:
+        box = self._boxes.get(mailbox)
+        if box is None:
             raise MailboxError(f"no mailbox {mailbox!r} on {self.host.name}")
         # Spool to disk.
         yield from self.host.disk.write(message.size_bytes)
-        self._boxes[mailbox].append(message)
+        box.append(message)
         self.env.stats.counter(f"mail.{self.host.name}.delivered").increment()
         self.env.trace.emit(
             "mail", f"{self.host.name}: delivered {message} to {mailbox}"
@@ -71,12 +72,13 @@ class MailboxServer:
         return RpcReply({"accepted": True}, result_size_bytes=32)
 
     def _list(self, ctx, mailbox: str):
-        if mailbox not in self._boxes:
+        box = self._boxes.get(mailbox)
+        if box is None:
             raise MailboxError(f"no mailbox {mailbox!r} on {self.host.name}")
         yield from self.host.disk.read(256)
         summaries = [
             {"msg_id": m.msg_id, "sender": str(m.sender), "subject": m.subject}
-            for m in self._boxes[mailbox]
+            for m in box
         ]
         return RpcReply(summaries, result_size_bytes=64 * max(1, len(summaries)))
 

@@ -24,13 +24,39 @@ from repro.sim.process import Process, ProcessGenerator
 from repro.sim.rng import RngRegistry
 from repro.sim.stats import StatsRegistry
 from repro.sim.trace import Tracer
-from repro.sim.wheel import QUEUE_IMPLS, HeapQueue, TimerWheel
+from repro.sim.wheel import (
+    QUEUE_IMPLS,
+    HeapQueue,
+    PerturbedHeapQueue,
+    TimerWheel,
+)
 
 #: Queue back end used when ``Environment(kernel_impl=None)``.  The
 #: cross-back-end determinism check flips this module global the same
 #: way :attr:`~repro.obs.span.Observability.default_enabled` is flipped
 #: for the traced determinism run.
 DEFAULT_KERNEL_IMPL = "wheel"
+
+#: Schedule-perturbation seed used when ``Environment(perturb_seed=None)``.
+#: ``None`` (always, outside the racer) means no perturbation: the FIFO
+#: ``(time, eid)`` tie-break, digest-identical behaviour.  The hnsracer
+#: confirmation mode (:mod:`repro.analysis.perturb`) flips this module
+#: global around a scenario builder the same way the determinism
+#: checker flips :data:`DEFAULT_KERNEL_IMPL`, so every environment the
+#: builder constructs drains same-timestamp cohorts in a seeded
+#: shuffled order.
+DEFAULT_PERTURB_SEED: typing.Optional[int] = None
+
+#: Optional factory consulted at :class:`Environment` construction: when
+#: set, every new environment gets ``monitor = factory(env)`` before any
+#: event is scheduled.  This is how the racer attaches an
+#: :class:`~repro.analysis.sanitizer.InterleavingSanitizer` to the
+#: environments a scenario builder creates internally, without the
+#: builder knowing.  Monitors installed this way must be passive, like
+#: any :class:`KernelMonitor`.
+DEFAULT_MONITOR_FACTORY: typing.Optional[
+    typing.Callable[["Environment"], "KernelMonitor"]
+] = None
 
 #: Measured back-end guidance, by workload shape (the dispatch sweeps
 #: in ``BENCH_kernel.json``; see docs/architecture.md §14).  The wheel
@@ -135,13 +161,25 @@ class Environment:
         seed: int = 0,
         kernel_impl: typing.Optional[str] = None,
         workload: typing.Optional[str] = None,
+        perturb_seed: typing.Optional[int] = None,
     ):
         kernel_impl = resolve_kernel_impl(kernel_impl, workload)
         self.kernel_impl = kernel_impl
         self._now: float = 0.0
-        self._queue: typing.Union[HeapQueue, TimerWheel] = QUEUE_IMPLS[
-            kernel_impl
-        ](0.0)  # type: ignore[assignment]
+        if perturb_seed is None:
+            perturb_seed = DEFAULT_PERTURB_SEED
+        #: When set, same-timestamp events drain in a seeded shuffled
+        #: order instead of FIFO (hnsracer confirmation runs only).
+        self.perturb_seed = perturb_seed
+        if perturb_seed is not None:
+            # The shuffled tie-break breaks the wheel's deque-sortedness
+            # invariant and the batched drain's ordering argument, so a
+            # perturbed environment runs the plain heap through step().
+            self._queue: typing.Union[HeapQueue, TimerWheel] = (
+                PerturbedHeapQueue(0.0, perturb_seed)
+            )
+        else:
+            self._queue = QUEUE_IMPLS[kernel_impl](0.0)  # type: ignore[assignment]
         #: Next event id; assigned in scheduling order so simultaneous
         #: events fire FIFO.  Doubles as the events-scheduled count.
         self._eid = 0
@@ -155,6 +193,8 @@ class Environment:
         #: Optional :class:`KernelMonitor`; None (the default) disables
         #: all instrumentation.
         self.monitor: typing.Optional[KernelMonitor] = None
+        if DEFAULT_MONITOR_FACTORY is not None:
+            self.monitor = DEFAULT_MONITOR_FACTORY(self)
 
     # ------------------------------------------------------------------
     # Clock
@@ -246,8 +286,13 @@ class Environment:
         drain re-synchronises.
         """
         queue = self._queue
+        # The batched drain's ordering argument assumes the FIFO eid
+        # tie-break ("time ties break toward the batch, whose eids are
+        # smaller"), which a perturbed queue deliberately violates — so
+        # perturbed runs take the step() loops even without a monitor.
+        batched = self.monitor is None and self.perturb_seed is None
         if until is None:
-            if self.monitor is None:
+            if batched:
                 self._drain(queue, None)
                 return None
             while len(queue):
@@ -258,7 +303,7 @@ class Environment:
             # Defuse so the kernel does not double-report a failure we are
             # about to raise from .value below.
             target._add_callback(lambda e: e.defuse() if not e.ok else None)
-            if self.monitor is None:
+            if batched:
                 if not target.processed:
                     self._drain(queue, target)
                 if not target.processed:

@@ -111,6 +111,57 @@ class HeapQueue:
         return len(self._heap)
 
 
+_MASK64 = 0xFFFFFFFFFFFFFFFF
+
+
+def _mix64(value: int) -> int:
+    """The splitmix64 finalizer: a bijective 64-bit avalanche mix.
+
+    Bijectivity is what the perturbed queue needs — distinct eids map
+    to distinct keys, so the permuted tie-break order is still a total
+    order and no entry ever compares into the :class:`Event` slot.
+    """
+    value &= _MASK64
+    value = ((value ^ (value >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    value = ((value ^ (value >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return value ^ (value >> 31)
+
+
+class PerturbedHeapQueue(HeapQueue):
+    """A heap queue whose same-timestamp tie-break is a seeded shuffle.
+
+    The kernel's contract is ``(time, eid)`` order: simultaneous events
+    fire FIFO.  Real systems make no such promise — two messages due at
+    the same instant can be delivered either way — so code that is only
+    correct because of the FIFO tie-break is relying on an accident of
+    the scheduler.  This queue replaces the eid tie-break with
+    ``_mix64(eid ^ salt)``, a seed-keyed permutation: event *times* are
+    untouched (the virtual clock reads identically), but every
+    same-timestamp cohort drains in a seed-dependent shuffled order.
+    Each seed yields one fixed, replayable order, so a perturbed run is
+    exactly as deterministic as a plain one.
+
+    Used by the hnsracer confirmation mode
+    (:mod:`repro.analysis.perturb`); never a default.  The timer wheel
+    and the kernel's batched drain both lean on the "eids grow" half of
+    the contract, which the shuffle deliberately breaks — so perturbed
+    environments always run this heap back end through the kernel's
+    ``step()`` loop.
+    """
+
+    __slots__ = ("perturb_seed", "_salt")
+
+    def __init__(self, now: float = 0.0, perturb_seed: int = 0):
+        super().__init__(now)
+        self.perturb_seed = perturb_seed
+        self._salt = _mix64(perturb_seed ^ 0x9E3779B97F4A7C15)
+
+    def push(self, time: float, eid: int, event: "Event") -> None:
+        if time < self.low_push:
+            self.low_push = time
+        heappush(self._heap, (time, _mix64(eid ^ self._salt), event))
+
+
 class TimerWheel:
     """Two-level timer wheel + overflow heap (see module docstring).
 

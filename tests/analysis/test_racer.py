@@ -1,0 +1,268 @@
+"""hnsracer: perturbation, confirmation, determinism, round-trip."""
+
+import json
+import textwrap
+
+from repro.analysis.determinism import run_digest
+from repro.analysis.perturb import derive_seed, monitored, perturbed
+from repro.analysis.racer import (
+    CONFIRMED,
+    UNCONFIRMED,
+    RacerReport,
+    race_scenario,
+    render_racer_json,
+    render_racer_text,
+    run_racer,
+)
+from repro.analysis.sanitizer import InterleavingSanitizer
+from repro.sim import Environment
+
+#: A lease-renewal race SIM005 finds statically (subject: _leases).
+RACY_SOURCE = """\
+class LeaseTable:
+    def _persist(self):
+        yield self.env.timeout(1.0)
+
+    def renew(self, name, extend_ms):
+        expiry = self._leases[name]
+        yield from self._persist()
+        self._leases[name] = expiry + extend_ms
+"""
+
+#: The clean twin: re-read after the gap.
+CLEAN_SOURCE = """\
+class LeaseTable:
+    def _persist(self):
+        yield self.env.timeout(1.0)
+
+    def renew(self, name, extend_ms):
+        expiry = self._leases[name]
+        self.stage(name, expiry)
+        yield from self._persist()
+        expiry = self._leases[name]
+        self._leases[name] = expiry + extend_ms
+"""
+
+
+def planted_race_builder(seed):
+    """Two unsynchronized processes touching a watched lease table.
+
+    The watch label is the shared attribute's name — the convention the
+    racer uses to match hazards against static finding subjects.
+    """
+    env = Environment(seed=seed)
+    env.trace.enabled = True
+    table = {"printer": 100}
+    if isinstance(env.monitor, InterleavingSanitizer):
+        table = env.monitor.watch(table, "_leases")
+
+    def renewer():
+        yield env.timeout(5)
+        table["printer"] = 200
+        env.trace.emit("test", "renewed")
+
+    def sweeper():
+        yield env.timeout(5)
+        _ = table["printer"]
+        env.trace.emit("test", "swept")
+
+    env.process(renewer(), name="renewer")
+    env.process(sweeper(), name="sweeper")
+    env.run()
+    return env
+
+
+def synchronized_builder(seed):
+    """The same accesses, ordered through an event: no hazard."""
+    env = Environment(seed=seed)
+    env.trace.enabled = True
+    table = {"printer": 100}
+    if isinstance(env.monitor, InterleavingSanitizer):
+        table = env.monitor.watch(table, "_leases")
+    gate = env.event()
+
+    def renewer():
+        yield env.timeout(5)
+        table["printer"] = 200
+        gate.succeed(None)
+
+    def sweeper():
+        yield gate
+        _ = table["printer"]
+
+    env.process(renewer(), name="renewer")
+    env.process(sweeper(), name="sweeper")
+    env.run()
+    return env
+
+
+def cohort_builder(seed):
+    """Eight processes sharing one timestamp: pure tie-break order."""
+    env = Environment(seed=seed)
+    env.trace.enabled = True
+
+    def proc(tag):
+        yield env.timeout(10)
+        env.trace.emit("test", f"ran {tag}")
+
+    for tag in "abcdefgh":
+        env.process(proc(tag), name=tag)
+    env.run()
+    return env
+
+
+def _write(tmp_path, name, source):
+    path = tmp_path / name
+    path.write_text(textwrap.dedent(source), encoding="utf-8")
+    return str(path)
+
+
+# ----------------------------------------------------------------------
+# Perturbation mechanics
+# ----------------------------------------------------------------------
+def test_perturbation_disabled_is_digest_identical():
+    plain = run_digest(cohort_builder(0))
+    with perturbed(None):
+        off = run_digest(cohort_builder(0))
+    assert plain == off
+
+
+def test_perturbation_shuffles_same_timestamp_cohort():
+    plain = run_digest(cohort_builder(0))
+    with perturbed(derive_seed(0, 0)):
+        shuffled = run_digest(cohort_builder(0))
+    assert plain != shuffled
+
+
+def test_fixed_perturbation_seed_is_deterministic():
+    seed = derive_seed(0, 1)
+    with perturbed(seed):
+        first = run_digest(cohort_builder(0))
+    with perturbed(seed):
+        second = run_digest(cohort_builder(0))
+    assert first == second
+
+
+def test_distinct_seeds_give_distinct_schedules():
+    digests = set()
+    for index in range(3):
+        with perturbed(derive_seed(0, index)):
+            digests.add(run_digest(cohort_builder(0)))
+    assert len(digests) == 3
+
+
+def test_sanitizer_attachment_is_digest_passive():
+    plain = run_digest(planted_race_builder(0))
+    with monitored(lambda env: InterleavingSanitizer(env)):
+        watched = run_digest(planted_race_builder(0))
+    assert plain == watched
+
+
+def test_derive_seed_is_stable_and_distinct():
+    assert derive_seed(0, 0) == derive_seed(0, 0)
+    assert derive_seed(0, 0) != derive_seed(0, 1)
+    assert derive_seed(0, 0) != derive_seed(1, 0)
+
+
+# ----------------------------------------------------------------------
+# Scenario racing
+# ----------------------------------------------------------------------
+def test_race_scenario_reports_hazard_and_ok():
+    race, hazards = race_scenario("planted", planted_race_builder, seed=0)
+    assert race.ok
+    assert race.hazard_count == len(hazards) >= 1
+    assert any(h.label == "_leases" for h in hazards)
+
+
+def test_race_scenario_synchronized_is_hazard_free():
+    race, hazards = race_scenario("sync", synchronized_builder, seed=0)
+    assert race.ok
+    assert hazards == []
+
+
+def test_cohort_scenario_is_perturbation_effective():
+    race, _ = race_scenario("cohort", cohort_builder, seed=0)
+    assert race.ok
+    assert race.perturbation_effective
+
+
+# ----------------------------------------------------------------------
+# The full racer: confirmation and gating
+# ----------------------------------------------------------------------
+def test_planted_race_is_confirmed(tmp_path):
+    path = _write(tmp_path, "leases.py", RACY_SOURCE)
+    report = run_racer(
+        [path], scenarios={"planted": planted_race_builder}, seed=0
+    )
+    assert len(report.findings) == 1
+    racer_finding = report.findings[0]
+    assert racer_finding.finding.rule == "SIM005"
+    assert racer_finding.status == CONFIRMED
+    assert racer_finding.witnesses
+    assert "_leases" in racer_finding.witnesses[0]
+    assert not report.ok  # findings gate the run, confirmed or not
+    text = render_racer_text(report)
+    assert "[CONFIRMED]" in text
+
+
+def test_clean_variant_has_zero_findings(tmp_path):
+    path = _write(tmp_path, "leases.py", CLEAN_SOURCE)
+    report = run_racer(
+        [path], scenarios={"planted": planted_race_builder}, seed=0
+    )
+    assert report.findings == []
+    assert report.ok
+
+
+def test_static_finding_without_witness_is_unconfirmed(tmp_path):
+    path = _write(tmp_path, "leases.py", RACY_SOURCE)
+    report = run_racer(
+        [path], scenarios={"sync": synchronized_builder}, seed=0
+    )
+    assert len(report.findings) == 1
+    assert report.findings[0].status == UNCONFIRMED
+    assert report.findings[0].witnesses == ()
+
+
+def test_run_racer_rejects_unknown_scenario(tmp_path):
+    import pytest
+
+    path = _write(tmp_path, "leases.py", CLEAN_SOURCE)
+    with pytest.raises(KeyError):
+        run_racer(
+            [path],
+            scenario_names=["nope"],
+            scenarios={"planted": planted_race_builder},
+        )
+
+
+def test_racer_report_json_round_trip(tmp_path):
+    path = _write(tmp_path, "leases.py", RACY_SOURCE)
+    report = run_racer(
+        [path],
+        scenarios={
+            "planted": planted_race_builder,
+            "cohort": cohort_builder,
+        },
+        seed=3,
+        perturb_runs=3,
+    )
+    payload = json.loads(render_racer_json(report))
+    assert payload["version"] == 1
+    assert payload["tool"] == "hnsracer"
+    restored = RacerReport.from_json(payload)
+    assert restored.to_json() == report.to_json()
+    assert restored.ok == report.ok
+    assert [s.perturb_seeds for s in restored.scenarios] == [
+        s.perturb_seeds for s in report.scenarios
+    ]
+
+
+def test_racer_is_deterministic_across_runs(tmp_path):
+    path = _write(tmp_path, "leases.py", RACY_SOURCE)
+    kwargs = dict(
+        scenarios={"planted": planted_race_builder}, seed=7, perturb_runs=2
+    )
+    first = run_racer([path], **kwargs)
+    second = run_racer([path], **kwargs)
+    assert first.to_json() == second.to_json()

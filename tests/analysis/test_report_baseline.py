@@ -192,7 +192,7 @@ def test_render_json_is_stable_and_versioned(tmp_path):
     bad.write_text(_BAD, encoding="utf-8")
     result = lint_paths([bad])
     payload = json.loads(render_json(result))
-    assert payload["version"] == 1
+    assert payload["version"] == 2
     assert payload["tool"] == "hnslint"
     assert payload["ok"] is False
     assert payload["counts"] == {"SIM001": 1}
@@ -261,3 +261,120 @@ def test_repo_tree_is_lint_clean_under_checked_in_baseline(capsys):
         ]
     )
     assert exit_code == 0, capsys.readouterr().out
+
+
+# ----------------------------------------------------------------------
+# Stale suppressions and --check-baseline
+# ----------------------------------------------------------------------
+def test_lint_paths_reports_stale_suppressions(tmp_path):
+    (tmp_path / "clocky.py").write_text(_BAD, encoding="utf-8")
+    baseline = Baseline(
+        [
+            Suppression(rule="SIM001", path="clocky.py", justification="live"),
+            Suppression(
+                rule="HNS001",
+                path="deleted_module.py",
+                contains="cache.insert",
+                justification="the offender was deleted two PRs ago",
+            ),
+        ]
+    )
+    result = lint_paths([tmp_path], baseline=baseline)
+    assert result.baselined == 1
+    assert result.stale_suppressions == [
+        'HNS001 path="deleted_module.py" contains="cache.insert"'
+    ]
+    # Stale entries are report content, not findings: ok stays true.
+    assert result.ok
+    assert "stale baseline suppression: HNS001" in render_text(result)
+    assert json.loads(render_json(result))["stale_suppressions"] == [
+        'HNS001 path="deleted_module.py" contains="cache.insert"'
+    ]
+
+
+def test_cli_check_baseline_fails_on_stale_entry(tmp_path, capsys):
+    (tmp_path / "clean.py").write_text(_CLEAN, encoding="utf-8")
+    baseline_file = tmp_path / "baseline.toml"
+    baseline_file.write_text(
+        '[[suppression]]\nrule = "SIM001"\npath = "gone.py"\n'
+        'justification = "module deleted"\n',
+        encoding="utf-8",
+    )
+    args = [str(tmp_path), "--baseline", str(baseline_file)]
+    # Without the flag the stale entry is report-only...
+    assert run(args) == 0
+    capsys.readouterr()
+    # ...with it, the gate fails until the entry is pruned.
+    assert run(args + ["--check-baseline"]) == 1
+    assert "stale baseline suppression" in capsys.readouterr().out
+
+
+# ----------------------------------------------------------------------
+# LINT001: unused-pragma meta-findings
+# ----------------------------------------------------------------------
+def test_lint001_flags_fully_unused_pragma():
+    findings = lint_source(
+        "x = 1  # hnslint: disable\n", check_pragmas=True
+    )
+    assert [f.rule for f in findings] == ["LINT001"]
+    assert "nothing on this line" in findings[0].message
+
+
+def test_lint001_flags_dead_codes_individually():
+    src = _BAD.replace(
+        "time.time()", "time.time()  # hnslint: disable=SIM001, HNS001"
+    )
+    findings = lint_source(src, check_pragmas=True)
+    assert [f.rule for f in findings] == ["LINT001"]
+    assert "HNS001" in findings[0].message
+    assert "SIM001" not in findings[0].message  # SIM001 earned its keep
+
+
+def test_lint001_quiet_when_pragma_is_used():
+    src = _BAD.replace("time.time()", "time.time()  # hnslint: disable=SIM001")
+    assert lint_source(src, check_pragmas=True) == []
+
+
+def test_lint001_cannot_be_inline_suppressed():
+    # A pragma cannot vouch for itself: disabling LINT001 on the same
+    # line leaves the original pragma just as unused.
+    findings = lint_source(
+        "x = 1  # hnslint: disable=LINT001\n", check_pragmas=True
+    )
+    assert [f.rule for f in findings] == ["LINT001"]
+
+
+def test_lint001_off_by_default_in_lint_source():
+    assert lint_source("x = 1  # hnslint: disable\n") == []
+
+
+def test_lint001_on_by_default_in_lint_paths(tmp_path):
+    (tmp_path / "m.py").write_text(
+        "x = 1  # hnslint: disable\n", encoding="utf-8"
+    )
+    result = lint_paths([tmp_path])
+    assert [f.rule for f in result.findings] == ["LINT001"]
+    quiet = lint_paths([tmp_path], check_pragmas=False)
+    assert quiet.findings == []
+
+
+def test_docstring_mentioning_pragma_syntax_is_not_a_pragma():
+    src = '"""Docs: write `# hnslint: disable=SIM001` to suppress."""\n'
+    assert lint_source(src, check_pragmas=True) == []
+
+
+# ----------------------------------------------------------------------
+# Finding subjects
+# ----------------------------------------------------------------------
+def test_finding_subject_round_trips_through_json():
+    finding = Finding(
+        rule="SIM005", path="m.py", line=3, col=9,
+        message="m", snippet="expiry = self._leases[name]",
+        subject="_leases",
+    )
+    payload = finding.to_json()
+    assert payload["subject"] == "_leases"
+    assert Finding.from_json(payload) == finding
+    # v1 payloads without the key still load.
+    del payload["subject"]
+    assert Finding.from_json(payload).subject == ""

@@ -7,6 +7,7 @@ from repro.analysis.rules_hns import (
     Hns001CacheInsertTtl,
     Hns002WireMessageIdl,
     Hns003StatNameConvention,
+    Hns004WireMessageFieldTypes,
 )
 
 
@@ -253,6 +254,31 @@ def test_hns003_accepts_the_harness_prefix():
     assert findings == []
 
 
+def test_hns003_allows_hyphenated_server_names_in_bind_families():
+    # bind.<server name>.<counter>: the server-name segment follows
+    # host-naming rules, so "meta-bind" is legal there (and only there).
+    findings = _lint(
+        """
+        def record(self):
+            self.env.stats.counter("bind.meta-bind.queries").increment()
+        """,
+        Hns003StatNameConvention,
+    )
+    assert findings == []
+
+
+def test_hns003_hyphen_outside_the_server_segment_still_flagged():
+    findings = _lint(
+        """
+        def record(self):
+            self.env.stats.counter("cache.hit-rate").increment()
+            self.env.stats.counter("bind.primary.slow-queries").increment()
+        """,
+        Hns003StatNameConvention,
+    )
+    assert [f.rule for f in findings] == ["HNS003", "HNS003"]
+
+
 def test_hns003_skips_dynamic_names_and_other_receivers():
     findings = _lint(
         """
@@ -261,5 +287,112 @@ def test_hns003_skips_dynamic_names_and_other_receivers():
             registry.counter("Whatever.Goes")
         """,
         Hns003StatNameConvention,
+    )
+    assert findings == []
+
+
+# ----------------------------------------------------------------------
+# HNS004: wire-message field types
+# ----------------------------------------------------------------------
+def test_hns004_flags_unregistered_field_type():
+    findings = _lint(
+        """
+        import dataclasses
+
+        @dataclasses.dataclass
+        class TransferRequest:
+            zone: str
+            payload: object
+            idl_type = "placeholder"
+        """,
+        Hns004WireMessageFieldTypes,
+        path="src/repro/bind/messages.py",
+    )
+    assert [f.rule for f in findings] == ["HNS004"]
+    assert "TransferRequest.payload" in findings[0].message
+    assert "unregistered type" in findings[0].message
+    assert findings[0].subject == "payload"
+
+
+def test_hns004_flags_server_side_class_in_container():
+    findings = _lint(
+        """
+        import dataclasses
+
+        @dataclasses.dataclass
+        class SweepResponse:
+            expired: typing.List[LeaseRecord]
+            idl_type = "placeholder"
+        """,
+        Hns004WireMessageFieldTypes,
+        path="src/repro/bind/messages.py",
+    )
+    assert [f.rule for f in findings] == ["HNS004"]
+    assert findings[0].subject == "expired"
+
+
+def test_hns004_clean_registered_and_nested_types():
+    # Primitives, IDL record types, containers of those, other wire
+    # messages from the same module, string annotations, and unions
+    # are all registered shapes; idl_type / ClassVar / _-prefixed
+    # attributes are not wire fields at all.
+    findings = _lint(
+        """
+        import dataclasses
+        import typing
+
+        @dataclasses.dataclass
+        class TransferQuestion:
+            zone: DomainName
+            serial: int
+            idl_type = "placeholder"
+
+        @dataclasses.dataclass
+        class TransferResponse:
+            question: TransferQuestion
+            records: typing.List[ResourceRecord]
+            deltas: "typing.Dict[str, ZoneDelta]"
+            window: typing.Optional[float]
+            flags: typing.Tuple[bool, bytes]
+            retry_ms: "int | None"
+            kind: typing.ClassVar[str] = "ixfr"
+            _cached_size: object = None
+            idl_type = "placeholder"
+        """,
+        Hns004WireMessageFieldTypes,
+        path="src/repro/bind/messages.py",
+    )
+    assert findings == []
+
+
+def test_hns004_only_applies_to_messages_modules():
+    findings = _lint(
+        """
+        import dataclasses
+
+        @dataclasses.dataclass
+        class TransferRequest:
+            payload: object
+            idl_type = "placeholder"
+        """,
+        Hns004WireMessageFieldTypes,
+        path="src/repro/bind/server.py",
+    )
+    assert findings == []
+
+
+def test_hns004_ignores_non_wire_classes():
+    # A module-internal helper dataclass without a wire suffix or an
+    # idl_type is not a wire message; its fields are unconstrained.
+    findings = _lint(
+        """
+        import dataclasses
+
+        @dataclasses.dataclass
+        class CacheSlot:
+            payload: object
+        """,
+        Hns004WireMessageFieldTypes,
+        path="src/repro/bind/messages.py",
     )
     assert findings == []
