@@ -1,0 +1,148 @@
+"""Ad-hoc discovery: what liveness-driven eviction buys under churn.
+
+The beacon tier (:mod:`repro.discovery`) has no administered authority
+to consult, so a cached binding is only as good as the last beacon
+heard.  These benches put numbers on the two mechanisms the subsystem
+adds over the one-shot broadcast locator:
+
+1. the churn grid — hosts vanish silently and return with bumped
+   incarnations while a client keeps resolving; per-entry watchdog
+   deadlines (``watchdog=x3``) race the entry TTL (``ttl_only``) on how
+   long dead bindings keep being served.  This is a thin definition
+   over the registered ``discovery`` ablation grid: the workload body
+   lives in :func:`repro.workloads.adhoc.drive_churn` and the knob
+   registry in :data:`repro.harness.grids.DISCOVERY_GRID`;
+2. partition/heal — how long after the segment heals until every
+   host's membership digest agrees, as a function of beacon period.
+
+Set ``REPRO_BENCH_SMOKE=1`` for a reduced configuration (CI smoke).
+"""
+
+import os
+
+import pytest
+
+from repro.harness import AblationStudy
+from repro.harness.ablation import BASELINE_KEY
+from repro.harness.grids import DISCOVERY_GRID
+from repro.resolution import DiscoveryPolicy
+from repro.workloads.adhoc import build_adhoc_world
+
+from conftest import write_bench_results
+
+SMOKE = bool(os.environ.get("REPRO_BENCH_SMOKE"))
+
+
+# ----------------------------------------------------------------------
+# 1. The churn grid: watchdog eviction vs waiting out the TTL
+# ----------------------------------------------------------------------
+@pytest.mark.benchmark(group="discovery")
+def test_churn_staleness_grid(benchmark):
+    """Staleness-after-vanish across churn rate x beacon period x
+    watchdog.  With the watchdog on, a vanished owner's binding is
+    probed and evicted within a few beacon periods; TTL-only eviction
+    serves the dead binding until the entry expires."""
+    study = AblationStudy(DISCOVERY_GRID, smoke=SMOKE)
+    specs = study.expand()
+
+    def measure():
+        return study.execute(specs)
+
+    results = benchmark(measure)
+    failed = [r.spec.key for r in results if not r.ok]
+    assert not failed, failed
+    rows = {r.spec.key: r.metrics for r in results}
+    write_bench_results(
+        "discovery",
+        "churn_staleness",
+        {"runs": rows, "importance": study.importance(results)},
+    )
+    print(f"\nad-hoc churn grid ({len(results)} runs):")
+    for key, row in rows.items():
+        print(
+            f"  {key:<24} {row['queries']:5.0f} queries, "
+            f"staleness {row['staleness_after_vanish_ms']:6.0f} ms, "
+            f"{row['stale_serves']:3.0f} stale serves, "
+            f"{row['evictions']:3.0f} evictions, "
+            f"avail {row['availability']:.3f}"
+        )
+    live = rows[BASELINE_KEY]
+    ttl_only = rows["watchdog=ttl_only"]
+    # Acceptance: liveness eviction beats TTL-only on how long queries
+    # keep serving a vanished owner's binding, and on how many stale
+    # answers escape overall.
+    assert (
+        live["staleness_after_vanish_ms"]
+        < ttl_only["staleness_after_vanish_ms"]
+    )
+    assert live["stale_serves"] < ttl_only["stale_serves"]
+    assert live["availability"] > ttl_only["availability"]
+    # The watchdog actually fired: evictions happened before any TTL
+    # could expire (the TTL-only arm never evicts mid-outage).
+    assert live["evictions"] > 0
+
+
+# ----------------------------------------------------------------------
+# 2. Partition/heal: reconvergence time tracks the beacon period
+# ----------------------------------------------------------------------
+def _heal_convergence_ms(seed, beacon_period_ms):
+    """Simulated ms from heal until every membership digest agrees."""
+    world = build_adhoc_world(
+        seed,
+        policy=DiscoveryPolicy(
+            beacon_period_ms=beacon_period_ms,
+            entry_ttl_ms=60_000.0,
+            watchdog_multiplier=3.0,
+        ),
+        host_count=6,
+    )
+    env = world.env
+    left, right = world.hosts[:3], world.hosts[3:]
+    world.beacons[1].announce("editor", 9_001)
+    world.beacons[4].announce("printer", 9_004)
+
+    def digests():
+        return {b.cache.membership_digest() for b in world.beacons}
+
+    converged_at = []
+
+    def drive():
+        yield env.timeout(6.0 * beacon_period_ms + 200.0)
+        assert len(digests()) == 1, "views never converged before split"
+        world.segment.partition(left, right)
+        yield env.timeout(8.0 * beacon_period_ms)
+        world.segment.heal()
+        healed_at = env.now
+        while len(digests()) != 1:
+            yield env.timeout(50.0)
+        converged_at.append(env.now - healed_at)
+
+    env.run(until=env.process(drive(), name="bench.heal_driver"))
+    return converged_at[0]
+
+
+@pytest.mark.benchmark(group="discovery")
+def test_partition_heal_convergence(benchmark):
+    """After a heal, views reconcile as soon as every partitioned-away
+    owner beacons again — so convergence time scales with the beacon
+    period, and both sides end digest-identical without any
+    administered authority."""
+    periods = (250.0, 500.0, 2_000.0) if not SMOKE else (500.0, 2_000.0)
+
+    def measure():
+        return {
+            f"period={period:.0f}ms": _heal_convergence_ms(71, period)
+            for period in periods
+        }
+
+    table = benchmark(measure)
+    write_bench_results("discovery", "partition_heal_convergence", table)
+    print("\nheal-to-converged time by beacon period:")
+    for label, ms in table.items():
+        print(f"  {label:<14} {ms:7.0f} ms")
+    values = [table[f"period={p:.0f}ms"] for p in periods]
+    # Acceptance: every period reconverges within a handful of beacon
+    # rounds, and faster beacons reconverge no slower than slow ones.
+    for period, ms in zip(periods, values):
+        assert ms <= 4.0 * period + 500.0, (period, ms)
+    assert values[0] <= values[-1]

@@ -77,7 +77,9 @@ class Hns001CacheInsertTtl(Rule):
 
 
 #: Wire-message dataclass names that must carry an IDL registration.
-_WIRE_SUFFIXES = ("Request", "Response", "Question", "Delta")
+#: Query/Answer are the broadcast locator pair; Beacon is the ad-hoc
+#: discovery tier's presence announcement.
+_WIRE_SUFFIXES = ("Request", "Response", "Question", "Delta", "Query", "Answer", "Beacon")
 
 
 class Hns002WireMessageIdl(Rule):
@@ -297,6 +299,10 @@ STAT_PREFIXES = frozenset(
         "broadcast",
         "cache",
         "ch",
+        # "discovery" hosts the ad-hoc beacon tier: beacons, passive-view
+        # observations, watchdog/TTL evictions (discovery.evict.<reason>),
+        # suspect probes, and the DiscoveryNsm's view/requery families
+        "discovery",
         # "harness" hosts the ablation-grid runner families
         # harness.<grid>.* (e.g. harness.fast_path.finds,
         # harness.toy.ticks)

@@ -14,6 +14,11 @@ host a packet, which is exactly why it loses at scale
 (``benchmarks/bench_ablations.py::test_broadcast_vs_context_location``).
 """
 
-from repro.broadcast.locator import BroadcastLocator, NameOwnerService, NameQuery
+from repro.broadcast.locator import (
+    BroadcastLocator,
+    NameAnswer,
+    NameOwnerService,
+    NameQuery,
+)
 
-__all__ = ["BroadcastLocator", "NameOwnerService", "NameQuery"]
+__all__ = ["BroadcastLocator", "NameAnswer", "NameOwnerService", "NameQuery"]

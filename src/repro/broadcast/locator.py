@@ -2,9 +2,9 @@
 
 from __future__ import annotations
 
-import dataclasses
 import typing
 
+from repro.broadcast.messages import NameAnswer, NameQuery
 from repro.harness.calibration import Calibration, DEFAULT_CALIBRATION
 from repro.net.host import Host, Service
 from repro.net.transport import DatagramTransport
@@ -18,20 +18,15 @@ EXAMINE_COST_MS = 1.5
 #: CPU cost to answer for an owned name
 ANSWER_COST_MS = 4.0
 
-
-@dataclasses.dataclass
-class NameQuery:
-    """Broadcast: who owns this name?"""
-    name: str
-
-
-@dataclasses.dataclass
-class NameAnswer:
-    """An owner's reply: where the name lives."""
-    name: str
-    owner: str     # host name
-    address: str   # dotted quad
-    data: typing.Mapping[str, object]
+__all__ = [
+    "ANSWER_COST_MS",
+    "BroadcastLocator",
+    "EXAMINE_COST_MS",
+    "LOCATOR_PORT",
+    "NameAnswer",
+    "NameOwnerService",
+    "NameQuery",
+]
 
 
 class NameOwnerService(Service):
@@ -45,15 +40,22 @@ class NameOwnerService(Service):
         self.host = host
         self.env = host.env
         self.calibration = calibration
-        self._owned: typing.Dict[str, typing.Dict[str, object]] = {}
+        self._owned: typing.Dict[str, typing.Dict[str, str]] = {}
         self.examined = 0
+        self.answered = 0
         host.bind(LOCATOR_PORT, self)
 
     def own(self, name: str, **data: object) -> None:
-        """Claim a name (e.g. a service this host provides)."""
+        """Claim a name (e.g. a service this host provides).
+
+        Field values are stringified: answers travel as wire messages
+        (see :mod:`repro.broadcast.messages`), not Python objects.
+        """
         if not name:
             raise ValueError("cannot own the empty name")
-        self._owned[name.lower()] = dict(data)
+        self._owned[name.lower()] = {
+            key: str(value) for key, value in data.items()
+        }
 
     def disown(self, name: str) -> bool:
         return self._owned.pop(name.lower(), None) is not None
@@ -67,17 +69,20 @@ class NameOwnerService(Service):
             return
         # Every host pays to look at every broadcast query.
         self.examined += 1
+        self.env.stats.counter("broadcast.examined").increment()
         yield from self.host.cpu.compute(EXAMINE_COST_MS)
         data = self._owned.get(request.name.lower())
         if data is None:
             return  # silence: not mine
         yield from self.host.cpu.compute(ANSWER_COST_MS)
+        self.answered += 1
+        self.env.stats.counter("broadcast.answered").increment()
         responder(
             NameAnswer(
                 name=request.name,
                 owner=self.host.name,
                 address=str(self.host.address),
-                data=data,
+                data=dict(data),
             ),
             size_bytes=96,
         )

@@ -1,0 +1,99 @@
+"""Broadcast-tier wire messages and their IDL descriptions.
+
+``NameQuery``/``NameAnswer`` started life as plain dataclasses inside
+the locator — the one message family the serializer (and therefore
+HNS002/HNS004) never saw.  They live here now, with IDL descriptions,
+so broadcast message sizes are real wire bytes like everything else
+that crosses the simulated segment.
+
+The answer's per-name payload travels as a flat ``key=value`` mapping
+(strings both sides), the same encoding discipline the meta zone's
+UNSPEC records use: arbitrary Python objects never ride a wire message.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.serial import StringType, StructType, U32Type
+
+NAME_QUERY_IDL = StructType(
+    "NameQuery",
+    [("name", StringType(255))],
+)
+
+NAME_ANSWER_IDL = StructType(
+    "NameAnswer",
+    [
+        ("name", StringType(255)),
+        ("owner", StringType(64)),
+        ("address", StringType(64)),
+        # "key=value;key=value" — the meta zone's UNSPEC field encoding
+        ("fields", StringType(255)),
+        ("count", U32Type()),
+    ],
+)
+
+
+def encode_data(data: typing.Mapping[str, str]) -> str:
+    """Flat mapping -> the ``key=value;...`` wire field."""
+    return ";".join(f"{key}={data[key]}" for key in sorted(data))
+
+
+def decode_data(text: str) -> typing.Dict[str, str]:
+    """The ``key=value;...`` wire field -> flat mapping."""
+    if not text:
+        return {}
+    return dict(
+        typing.cast(
+            typing.Tuple[str, str], tuple(pair.split("=", 1))
+        )
+        for pair in text.split(";")
+    )
+
+
+@dataclasses.dataclass
+class NameQuery:
+    """Broadcast: who owns this name?"""
+
+    name: str
+
+    idl_type = NAME_QUERY_IDL
+
+    def to_idl(self) -> dict:
+        return {"name": self.name}
+
+    @classmethod
+    def from_idl(cls, value: typing.Mapping[str, object]) -> "NameQuery":
+        return cls(name=typing.cast(str, value["name"]))
+
+
+@dataclasses.dataclass
+class NameAnswer:
+    """An owner's reply: where the name lives."""
+
+    name: str
+    owner: str     # host name
+    address: str   # dotted quad
+    data: typing.Dict[str, str]
+
+    idl_type = NAME_ANSWER_IDL
+
+    def to_idl(self) -> dict:
+        return {
+            "name": self.name,
+            "owner": self.owner,
+            "address": self.address,
+            "fields": encode_data(self.data),
+            "count": len(self.data),
+        }
+
+    @classmethod
+    def from_idl(cls, value: typing.Mapping[str, object]) -> "NameAnswer":
+        return cls(
+            name=typing.cast(str, value["name"]),
+            owner=typing.cast(str, value["owner"]),
+            address=typing.cast(str, value["address"]),
+            data=decode_data(typing.cast(str, value["fields"])),
+        )

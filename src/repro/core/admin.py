@@ -29,7 +29,7 @@ class HnsAdministrator:
         port: int,
     ) -> typing.Generator:
         """Introduce an underlying name service to the global service."""
-        if kind not in ("bind", "clearinghouse"):
+        if kind not in ("bind", "clearinghouse", "adhoc"):
             raise ValueError(f"unknown name service kind {kind!r}")
         yield from self.metastore.register_name_service(
             NameServiceRecord(name=name, kind=kind, host_name=host_name, port=port)

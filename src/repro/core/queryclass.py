@@ -56,6 +56,11 @@ QUERY_CLASSES: typing.Dict[str, QueryClass] = {
             ("endpoint", "program", "suite", "volume"),
             "Locate a file service and volume for the HCS filing service.",
         ),
+        QueryClass(
+            "AdHocService",
+            ("address", "owner", "incarnation"),
+            "Locate a service on the local segment via presence beacons.",
+        ),
     )
 }
 

@@ -1,0 +1,40 @@
+"""Ad-hoc discovery: a name service with no servers at all.
+
+The paper's HNS federates *administered* name services (BIND zones, a
+Clearinghouse); the systems it explicitly declines — broadcast-based
+location — reappear here as the natural fit for hosts that come and go
+without administration.  Each host runs a :class:`BeaconService` that
+periodically broadcasts a signed presence beacon (name set + address +
+incarnation number); every listener keeps a passive
+:class:`DiscoveryCache` whose entries expire on the earlier of a TTL
+and a liveness watchdog, with last-writer-wins on incarnation.
+
+:class:`DiscoveryNsm` puts that view behind the standard NSM ``query``
+interface (query class ``AdHocService``), so ``HNS.find_nsm`` can hand
+out an ad-hoc binding and :class:`~repro.core.nsm.NsmStub` dispatches
+to it unchanged — heterogeneity extended to systems that were never
+administered in the first place.  :class:`~repro.resolution.DiscoveryPolicy`
+holds the knobs; ``DiscoveryPolicy.disabled()`` degrades the tier to the
+one-shot broadcast locator the paper measured against.
+"""
+
+from repro.discovery.beacon import BeaconService, DiscoveryCache, DiscoveryEntry
+from repro.discovery.messages import (
+    BEACON_PORT,
+    PresenceBeacon,
+    ProbeRequest,
+    ProbeResponse,
+)
+from repro.discovery.nsm import ADHOC_NS, DiscoveryNsm
+
+__all__ = [
+    "ADHOC_NS",
+    "BEACON_PORT",
+    "BeaconService",
+    "DiscoveryCache",
+    "DiscoveryEntry",
+    "DiscoveryNsm",
+    "PresenceBeacon",
+    "ProbeRequest",
+    "ProbeResponse",
+]

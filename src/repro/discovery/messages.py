@@ -1,0 +1,163 @@
+"""Ad-hoc discovery wire messages: presence beacons and liveness probes.
+
+Beacons are *signed*: a host that cannot prove it shares the segment
+secret cannot claim names.  The signature here is a CRC over the
+canonical field encoding keyed with the shared secret — a stand-in with
+the right shape (deterministic, cheap, covers every field) rather than
+real cryptography, which the simulation does not need.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+import zlib
+
+from repro.broadcast.messages import decode_data, encode_data
+from repro.serial import BoolType, StringType, StructType, U32Type
+
+#: the well-known port every discovery listener binds
+BEACON_PORT = 1112
+
+#: segment-wide shared secret the beacon signature is keyed with
+SEGMENT_SECRET = "hcs-adhoc-v1"
+
+PRESENCE_BEACON_IDL = StructType(
+    "PresenceBeacon",
+    [
+        ("owner", StringType(64)),
+        ("address", StringType(64)),
+        ("incarnation", U32Type()),
+        # "key=value;key=value" — name -> port, as strings (wire encoding)
+        ("names", StringType(255)),
+        ("signature", U32Type()),
+    ],
+)
+
+PROBE_REQUEST_IDL = StructType(
+    "ProbeRequest",
+    [("name", StringType(255))],
+)
+
+PROBE_RESPONSE_IDL = StructType(
+    "ProbeResponse",
+    [
+        ("name", StringType(255)),
+        ("owner", StringType(64)),
+        ("incarnation", U32Type()),
+        ("alive", BoolType()),
+    ],
+)
+
+
+def sign_beacon(
+    owner: str,
+    address: str,
+    incarnation: int,
+    names: typing.Mapping[str, str],
+    secret: str = SEGMENT_SECRET,
+) -> int:
+    """CRC-keyed signature over the canonical beacon encoding."""
+    canonical = "|".join(
+        (secret, owner, address, str(incarnation), encode_data(names))
+    )
+    return zlib.crc32(canonical.encode("utf-8")) & 0xFFFFFFFF
+
+
+@dataclasses.dataclass
+class PresenceBeacon:
+    """One host's periodic presence announcement."""
+
+    owner: str            # host name
+    address: str          # dotted quad
+    incarnation: int      # bumped on every restart; last-writer-wins
+    names: typing.Dict[str, str]
+    signature: int
+
+    idl_type = PRESENCE_BEACON_IDL
+
+    @classmethod
+    def signed(
+        cls,
+        owner: str,
+        address: str,
+        incarnation: int,
+        names: typing.Mapping[str, str],
+        secret: str = SEGMENT_SECRET,
+    ) -> "PresenceBeacon":
+        return cls(
+            owner=owner,
+            address=address,
+            incarnation=incarnation,
+            names=dict(names),
+            signature=sign_beacon(owner, address, incarnation, names, secret),
+        )
+
+    def verify(self, secret: str = SEGMENT_SECRET) -> bool:
+        return self.signature == sign_beacon(
+            self.owner, self.address, self.incarnation, self.names, secret
+        )
+
+    def to_idl(self) -> dict:
+        return {
+            "owner": self.owner,
+            "address": self.address,
+            "incarnation": self.incarnation,
+            "names": encode_data(self.names),
+            "signature": self.signature,
+        }
+
+    @classmethod
+    def from_idl(cls, value: typing.Mapping[str, object]) -> "PresenceBeacon":
+        return cls(
+            owner=typing.cast(str, value["owner"]),
+            address=typing.cast(str, value["address"]),
+            incarnation=typing.cast(int, value["incarnation"]),
+            names=decode_data(typing.cast(str, value["names"])),
+            signature=typing.cast(int, value["signature"]),
+        )
+
+
+@dataclasses.dataclass
+class ProbeRequest:
+    """Unicast liveness check before a suspect entry is evicted."""
+
+    name: str
+
+    idl_type = PROBE_REQUEST_IDL
+
+    def to_idl(self) -> dict:
+        return {"name": self.name}
+
+    @classmethod
+    def from_idl(cls, value: typing.Mapping[str, object]) -> "ProbeRequest":
+        return cls(name=typing.cast(str, value["name"]))
+
+
+@dataclasses.dataclass
+class ProbeResponse:
+    """The suspect's answer: still here (or not advertising that name)."""
+
+    name: str
+    owner: str
+    incarnation: int
+    alive: bool
+
+    idl_type = PROBE_RESPONSE_IDL
+
+    def to_idl(self) -> dict:
+        return {
+            "name": self.name,
+            "owner": self.owner,
+            "incarnation": self.incarnation,
+            "alive": self.alive,
+        }
+
+    @classmethod
+    def from_idl(cls, value: typing.Mapping[str, object]) -> "ProbeResponse":
+        return cls(
+            name=typing.cast(str, value["name"]),
+            owner=typing.cast(str, value["owner"]),
+            incarnation=typing.cast(int, value["incarnation"]),
+            alive=typing.cast(bool, value["alive"]),
+        )

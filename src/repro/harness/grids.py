@@ -29,6 +29,7 @@ from repro.harness.ablation import GridDef, Knob, RunOutput
 from repro.harness.calibration import DEFAULT_CALIBRATION
 from repro.resolution import (
     DEFAULT_RESOLUTION_POLICY,
+    DiscoveryPolicy,
     FastPathPolicy,
     PolicySet,
     ReplicaPolicy,
@@ -107,6 +108,22 @@ INVALIDATION_VARIANTS: typing.Dict[str, UpdatePolicy] = {
     "lease": UpdatePolicy(invalidation="lease", lease_ms=5_000.0),
     "ttl": UpdatePolicy(invalidation="ttl"),
 }
+
+#: churn knob: (mean crash interval ms, outage length ms) per event.
+CHURN_VARIANTS: typing.Dict[str, typing.Tuple[float, float]] = {
+    "low": (6_000.0, 4_000.0),
+    "high": (2_500.0, 1_500.0),
+}
+
+#: beacon_period knob: how often each host announces its presence.
+BEACON_PERIOD_VARIANTS: typing.Dict[str, float] = {
+    "fast": 500.0,
+    "slow": 2_000.0,
+}
+
+#: watchdog knob: liveness deadline as a multiple of the beacon period;
+#: ``ttl_only`` turns the watchdog off so eviction waits for entry TTL.
+WATCHDOG_VARIANTS: typing.Dict[str, float] = {"x3": 3.0, "ttl_only": 0.0}
 
 
 # ----------------------------------------------------------------------
@@ -447,6 +464,66 @@ UPDATE_GRID = GridDef(
 
 
 # ----------------------------------------------------------------------
+# discovery grid
+# ----------------------------------------------------------------------
+def run_discovery(
+    knobs: typing.Mapping[str, str], seed: int, smoke: bool
+) -> RunOutput:
+    """Ad-hoc names under silent host churn, one run per knob assignment.
+
+    The workload body is :func:`repro.workloads.adhoc.drive_churn`:
+    hosts vanish without retracting their names and return with bumped
+    incarnations while a client keeps resolving through a
+    :class:`~repro.discovery.DiscoveryNsm`.  The ``watchdog`` knob is
+    the headline ablation — liveness-driven eviction against waiting
+    out the entry TTL — scored by how long dead bindings keep being
+    served (``staleness_after_vanish_ms``, ``stale_serves``).
+    """
+    from repro.workloads.adhoc import build_adhoc_world, drive_churn
+
+    churn_interval_ms, down_ms = CHURN_VARIANTS[knobs["churn"]]
+    policy = DiscoveryPolicy(
+        beacon_period_ms=BEACON_PERIOD_VARIANTS[knobs["beacon_period"]],
+        entry_ttl_ms=10_000.0,
+        watchdog_multiplier=WATCHDOG_VARIANTS[knobs["watchdog"]],
+    )
+    world = build_adhoc_world(seed=seed, policy=policy, host_count=6)
+    env = world.env
+    metrics = drive_churn(
+        world,
+        owners=3,
+        duration_ms=20_000.0 if smoke else 60_000.0,
+        churn_interval_ms=churn_interval_ms,
+        down_ms=down_ms,
+        query_interval_ms=400.0,
+    )
+    counters = env.stats.counters()
+    metrics["evictions"] = float(counters.get("discovery.evictions", 0))
+    metrics["requeries"] = float(counters.get("discovery.requeries", 0))
+    return RunOutput(metrics=metrics, digest=run_digest(env), sim_ms=env.now)
+
+
+DISCOVERY_GRID = GridDef(
+    name="discovery",
+    knobs=(
+        Knob("churn", baseline="low", variants=("high",)),
+        Knob("beacon_period", baseline="fast", variants=("slow",)),
+        Knob("watchdog", baseline="x3", variants=("ttl_only",)),
+    ),
+    runner="repro.harness.grids:run_discovery",
+    seed=83,
+    extras=(
+        # The worst case the watchdog exists for: rapid churn with
+        # TTL-only eviction, every outage served stale for seconds.
+        (
+            "high_churn_ttl_only",
+            (("churn", "high"), ("watchdog", "ttl_only")),
+        ),
+    ),
+)
+
+
+# ----------------------------------------------------------------------
 # toy grid: the schema exemplar, and the harness's own test subject
 # ----------------------------------------------------------------------
 def run_toy(
@@ -499,7 +576,13 @@ TOY_GRID = GridDef(
 #: runs the non-toy entries.
 GRIDS: typing.Dict[str, GridDef] = {
     grid.name: grid
-    for grid in (FAST_PATH_GRID, REPLICA_GRID, UPDATE_GRID, TOY_GRID)
+    for grid in (
+        FAST_PATH_GRID,
+        REPLICA_GRID,
+        UPDATE_GRID,
+        DISCOVERY_GRID,
+        TOY_GRID,
+    )
 }
 
 #: The grids the CI perf gate runs and compares against committed
@@ -508,6 +591,7 @@ GATED_GRIDS: typing.Tuple[str, ...] = (
     "fast_path",
     "replica_scheduling",
     "update_path",
+    "discovery",
 )
 
 

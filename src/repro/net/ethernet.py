@@ -4,6 +4,12 @@ The paper's measurements were taken between MicroVAX-IIs "joined by an
 Ethernet" at light load.  The segment charges a latency model per
 message (base propagation + per-byte transfer) and can drop messages
 with a configured probability for failure-injection experiments.
+
+Partition/heal: :meth:`Ethernet.partition` installs a deterministic
+segment-level drop rule — hosts assigned to different sides stop
+hearing each other (unicast and broadcast alike) until :meth:`heal`.
+The ad-hoc discovery scenarios use this to let membership views
+diverge and then watch incarnation numbers reconcile.
 """
 
 from __future__ import annotations
@@ -34,6 +40,8 @@ class Ethernet:
         self.latency = latency or ConstantLatency(1.0, per_byte_ms=0.0008)
         self.drop_probability = drop_probability
         self._hosts: typing.Dict[str, Host] = {}
+        # address -> partition side; empty means the segment is whole.
+        self._partition_of: typing.Dict[str, int] = {}
 
     def attach(self, host: Host) -> None:
         if str(host.address) in self._hosts:
@@ -58,7 +66,86 @@ class Ethernet:
         rng = self.env.rng.stream(f"ether:{self.name}")
         return self.latency.sample(rng, datagram.size_bytes)
 
-    def would_drop(self) -> bool:
+    # ------------------------------------------------------------------
+    # Partition/heal: deterministic segment-level drop rules
+    # ------------------------------------------------------------------
+    def partition(
+        self, *groups: typing.Iterable[typing.Union[Host, str, object]]
+    ) -> None:
+        """Split the segment: hosts in different groups stop hearing
+        each other (unicast and broadcast alike) until :meth:`heal`.
+
+        Each group is a sequence of hosts or addresses.  Hosts not
+        assigned to any group keep full connectivity — the rule only
+        fires when *both* endpoints are assigned and their sides differ.
+        Installing a new partition replaces the previous one.
+        """
+        if len(groups) < 2:
+            raise ValueError("a partition needs at least two groups")
+        assignment: typing.Dict[str, int] = {}
+        for side, group in enumerate(groups):
+            for member in group:
+                address = str(
+                    member.address if isinstance(member, Host) else member
+                )
+                if address in assignment:
+                    raise ValueError(
+                        f"address {address} assigned to two partition groups"
+                    )
+                assignment[address] = side
+        self._partition_of = assignment
+        self.env.trace.emit(
+            "net",
+            f"segment {self.name} partitioned into {len(groups)} groups",
+            sizes=[
+                sum(1 for side in assignment.values() if side == index)
+                for index in range(len(groups))
+            ],
+        )
+
+    def heal(self) -> None:
+        """Remove the partition rule: the segment is whole again."""
+        if not self._partition_of:
+            return
+        self._partition_of = {}
+        self.env.trace.emit("net", f"segment {self.name} healed")
+
+    @property
+    def partitioned(self) -> bool:
+        return bool(self._partition_of)
+
+    def crosses_partition(
+        self, src: typing.Union[str, object], dst: typing.Union[str, object]
+    ) -> bool:
+        """Whether the installed drop rule severs ``src`` -> ``dst``."""
+        if not self._partition_of:
+            return False
+        src_side = self._partition_of.get(str(src))
+        dst_side = self._partition_of.get(str(dst))
+        return (
+            src_side is not None
+            and dst_side is not None
+            and src_side != dst_side
+        )
+
+    def would_drop(
+        self,
+        src: typing.Optional[typing.Union[str, object]] = None,
+        dst: typing.Optional[typing.Union[str, object]] = None,
+    ) -> bool:
+        """Loss decision for one message along this wire.
+
+        The deterministic partition rule is consulted first (when both
+        endpoints are known), then the configured random drop
+        probability.
+        """
+        if (
+            src is not None
+            and dst is not None
+            and self.crosses_partition(src, dst)
+        ):
+            self.env.stats.counter("net.partition.drops").increment()
+            return True
         if self.drop_probability == 0.0:
             return False
         rng = self.env.rng.stream(f"ether-drop:{self.name}")

@@ -7,6 +7,7 @@ forwarding delay), which the scalability ablations use.
 
 from __future__ import annotations
 
+import itertools
 import typing
 
 from repro.net.addresses import AddressAllocator, NetworkAddress
@@ -33,6 +34,15 @@ class Internetwork:
         self._hosts_by_address: typing.Dict[str, Host] = {}
         self._segment_of: typing.Dict[str, Ethernet] = {}
         self._allocators: typing.Dict[str, AddressAllocator] = {}
+        # Per-environment message numbering: ids must be a function of
+        # this run alone, or traced loss lines ("lost: Datagram#N ...")
+        # would differ between same-seed runs in one process and break
+        # the determinism gate.
+        self._msg_ids = itertools.count(1)
+
+    def next_msg_id(self) -> int:
+        """The next wire-message id (transports stamp each Datagram)."""
+        return next(self._msg_ids)
 
     # ------------------------------------------------------------------
     # Topology construction
@@ -129,10 +139,10 @@ class Internetwork:
     ) -> bool:
         """Loss decision for a datagram along the route."""
         segment, hops = self._route(str(src), str(dst))
-        if segment.would_drop():
+        if segment.would_drop(src, dst):
             return True
         if hops:
-            return self._segment_of[str(dst)].would_drop()
+            return self._segment_of[str(dst)].would_drop(src, dst)
         return False
 
     def same_host(self, a: typing.Union[str, NetworkAddress], b: typing.Union[str, NetworkAddress]) -> bool:

@@ -188,6 +188,7 @@ class DatagramTransport(Transport):
             payload=payload,
             size_bytes=size_bytes,
             reply_to=reply_to,
+            msg_id=self.internet.next_msg_id(),
         )
         segment_drop = self.internet.segment_would_drop(
             src_host.address, destination.address
@@ -229,10 +230,11 @@ class DatagramTransport(Transport):
                 destination=Endpoint(target.address, port),
                 payload=payload,
                 size_bytes=size_bytes,
+                msg_id=self.internet.next_msg_id(),
             )
             delay = self._wire_delay(src_host, target.address, size_bytes)
             yield env.timeout(delay)
-            if segment.would_drop():
+            if segment.would_drop(src_host.address, target.address):
                 return
             collector = env.event()
             collector._add_callback(self._collect_into(replies, first))
@@ -344,6 +346,7 @@ class StreamTransport(Transport):
             payload=payload,
             size_bytes=size_bytes,
             reply_to=reply_to,
+            msg_id=self.internet.next_msg_id(),
         )
         delay = self._wire_delay(src_host, destination.address, size_bytes)
         yield self.env.timeout(delay)

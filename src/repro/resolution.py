@@ -404,8 +404,103 @@ DEFAULT_UPDATE_POLICY = UpdatePolicy()
 
 
 @dataclasses.dataclass(frozen=True)
+class DiscoveryPolicy:
+    """Ad-hoc discovery knobs: beacons, liveness, and re-query fallback.
+
+    The broadcast tier (:mod:`repro.broadcast`) locates a name with one
+    multicast question per lookup — every query taxes every host on the
+    segment.  The discovery tier (:mod:`repro.discovery`) amortizes
+    that: each host periodically broadcasts a signed presence beacon
+    (name set + address + incarnation), every listener folds beacons
+    into a passive membership view, and lookups become local table
+    probes.  This policy gates the mechanisms that make the view safe
+    to trust:
+
+    - **beaconing** (``beacon_period_ms`` / ``beacon_jitter``): the
+      advertisement cadence, jittered per host so a segment of peers
+      never beats in lockstep.
+    - **watchdog liveness** (``watchdog_multiplier``): an entry whose
+      owner has been silent for ``period x multiplier`` is evicted —
+      liveness-driven eviction racing (and normally beating) plain TTL
+      expiry.  0 disables the watchdog: entries die by TTL only.
+    - **suspect-before-evict probing** (``probe_before_evict``): a
+      lapsed entry gets one direct unicast probe before eviction, so a
+      host whose beacons were merely lost is refreshed, not dropped.
+    - **re-query on miss** (``requery_on_miss``): a lookup that misses
+      the membership view falls back to a one-shot broadcast
+      :class:`~repro.broadcast.NameQuery` before failing.
+
+    ``None`` anywhere a :class:`DiscoveryPolicy` is accepted means the
+    same as :meth:`disabled`: no beacons, no membership view — every
+    lookup is the one-shot broadcast locator the paper rejects.
+    """
+
+    #: run the beacon/watchdog machinery at all; False degrades the
+    #: discovery NSM to the one-shot broadcast locator
+    enabled: bool = True
+    #: nominal gap between presence beacons
+    beacon_period_ms: float = 1_000.0
+    #: fraction of the period randomised away (named RNG stream per
+    #: host), so peers never beacon in lockstep
+    beacon_jitter: float = 0.2
+    #: TTL stamped on membership entries — the slow eviction path the
+    #: watchdog races
+    entry_ttl_ms: float = 30_000.0
+    #: watchdog deadline = beacon period x this; 0 disables
+    #: liveness-driven eviction (entries die by TTL only)
+    watchdog_multiplier: float = 3.0
+    #: probe a lapsed entry once (direct unicast) before evicting it
+    probe_before_evict: bool = True
+    #: how long the watchdog waits for a probe reply
+    probe_timeout_ms: float = 250.0
+    #: fall back to a one-shot broadcast NameQuery on a view miss
+    requery_on_miss: bool = True
+    #: reply window for the broadcast fallback
+    broadcast_wait_ms: float = 60.0
+
+    def __post_init__(self) -> None:
+        if self.beacon_period_ms <= 0:
+            raise ValueError("beacon period must be positive")
+        if not 0.0 <= self.beacon_jitter < 1.0:
+            raise ValueError("beacon jitter must be in [0, 1)")
+        if self.entry_ttl_ms <= 0:
+            raise ValueError("entry TTL must be positive")
+        if self.watchdog_multiplier < 0:
+            raise ValueError("watchdog multiplier must be >= 0")
+        if self.probe_timeout_ms <= 0:
+            raise ValueError("probe timeout must be positive")
+        if self.broadcast_wait_ms <= 0:
+            raise ValueError("broadcast wait window must be positive")
+
+    # ------------------------------------------------------------------
+    @property
+    def liveness(self) -> bool:
+        """Whether watchdog (liveness-driven) eviction is armed."""
+        return self.enabled and self.watchdog_multiplier > 0
+
+    def watchdog_deadline_ms(self) -> float:
+        """How long after the last beacon an entry is considered live."""
+        return self.beacon_period_ms * self.watchdog_multiplier
+
+    @classmethod
+    def disabled(cls) -> "DiscoveryPolicy":
+        """No beacons, no membership view: every lookup is the existing
+        one-shot broadcast locator.  The ablation baseline."""
+        return cls(
+            enabled=False,
+            watchdog_multiplier=0.0,
+            probe_before_evict=False,
+            requery_on_miss=True,
+        )
+
+
+#: Everything on: what the discovery scenarios and benchmarks opt into.
+DEFAULT_DISCOVERY_POLICY = DiscoveryPolicy()
+
+
+@dataclasses.dataclass(frozen=True)
 class PolicySet:
-    """One frozen bundle of all four resolution-path policies.
+    """One frozen bundle of the resolution-path policies.
 
     Five PRs grew four independent policy objects, and every layer
     (:class:`~repro.core.metastore.MetaStore`,
@@ -413,7 +508,8 @@ class PolicySet:
     separate keyword arguments with subtly different ``None`` fallback
     rules.  A :class:`PolicySet` is the one object callers pass instead;
     ``None`` in any slot uniformly means that mechanism's
-    ``.disabled()`` prototype behaviour.
+    ``.disabled()`` prototype behaviour.  The ``discovery`` slot (PR 10)
+    configures the ad-hoc beacon tier the same way.
 
     The legacy per-policy kwargs still work as deprecated aliases (they
     warn once per call site and fold over the base set via
@@ -424,13 +520,14 @@ class PolicySet:
     fast_path: typing.Optional[FastPathPolicy] = None
     replica: typing.Optional[ReplicaPolicy] = None
     update: typing.Optional[UpdatePolicy] = None
+    discovery: typing.Optional[DiscoveryPolicy] = None
 
     @classmethod
     def default(cls) -> "PolicySet":
         """What the stack runs with when nothing is specified: fault
         tolerance on, the opt-in mechanisms (fast path, replica
-        scheduling, write pipeline) off — matching the historical
-        per-kwarg defaults."""
+        scheduling, write pipeline, discovery) off — matching the
+        historical per-kwarg defaults."""
         return cls(resolution=DEFAULT_RESOLUTION_POLICY)
 
     @classmethod
@@ -442,6 +539,7 @@ class PolicySet:
             fast_path=FastPathPolicy.disabled(),
             replica=ReplicaPolicy.disabled(),
             update=UpdatePolicy.disabled(),
+            discovery=DiscoveryPolicy.disabled(),
         )
 
 

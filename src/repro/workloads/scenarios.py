@@ -1033,6 +1033,11 @@ def iter_scenarios() -> typing.Iterator[typing.Tuple[str, typing.Callable]]:
         yield name, SCENARIOS[name]
 
 
+# Ad-hoc discovery scenarios live in their own module; importing it
+# registers them.  Bottom import: adhoc.py needs @scenario from here.
+from repro.workloads import adhoc as _adhoc  # noqa: E402,F401
+
+
 def _nsm_port_for(nsm_name: str) -> int:
     """Port the registration assigned to this NSM (see build_testbed)."""
     offsets = {

@@ -396,3 +396,67 @@ def test_hns004_ignores_non_wire_classes():
         path="src/repro/bind/messages.py",
     )
     assert findings == []
+
+
+# ----------------------------------------------------------------------
+# The broadcast/discovery tier: wire suffixes and stat families
+# ----------------------------------------------------------------------
+def test_hns002_covers_query_answer_and_beacon_suffixes():
+    # The broadcast locator (NameQuery/NameAnswer) and the beacon tier
+    # (PresenceBeacon) speak on the wire; HNS002 must see their naming
+    # suffixes so unregistered messages in those modules are flagged.
+    findings = _lint(
+        """
+        import dataclasses
+
+        @dataclasses.dataclass
+        class NameQuery:
+            name: str
+
+        @dataclasses.dataclass
+        class NameAnswer:
+            name: str
+
+        @dataclasses.dataclass
+        class PresenceBeacon:
+            owner: str
+        """,
+        Hns002WireMessageIdl,
+        path="src/repro/discovery/messages.py",
+    )
+    assert [f.rule for f in findings] == ["HNS002"] * 3
+
+
+def test_hns004_covers_beacon_suffix_fields():
+    findings = _lint(
+        """
+        import dataclasses
+
+        @dataclasses.dataclass
+        class PresenceBeacon:
+            names: dict
+            idl_type = "placeholder"
+        """,
+        Hns004WireMessageFieldTypes,
+        path="src/repro/discovery/messages.py",
+    )
+    assert [f.rule for f in findings] == ["HNS004"]
+    assert findings[0].subject == "names"
+
+
+def test_hns003_accepts_broadcast_and_discovery_families():
+    # broadcast.* mirrors the locator's examined/answered tallies as
+    # env stats; discovery.* covers beacons, the passive view, watchdog
+    # and TTL evictions (discovery.evict.<reason>), and the ad-hoc NSM.
+    findings = _lint(
+        """
+        def record(self):
+            self.env.stats.counter("broadcast.examined").increment()
+            self.env.stats.counter("broadcast.answered").increment()
+            self.env.stats.counter("discovery.beacons_sent").increment()
+            self.env.stats.counter("discovery.evict.watchdog").increment()
+            self.env.stats.counter("discovery.nsm_invalidations").increment()
+        """,
+        Hns003StatNameConvention,
+    )
+    assert findings == []

@@ -1,0 +1,51 @@
+"""Partition/heal at the discovery layer: diverge, then reconcile."""
+
+from repro.discovery import BeaconService
+from repro.net import DatagramTransport, Internetwork
+from repro.resolution import DiscoveryPolicy
+from repro.sim import ConstantLatency, Environment
+
+POLICY = DiscoveryPolicy(
+    beacon_period_ms=500.0,
+    entry_ttl_ms=60_000.0,
+    watchdog_multiplier=3.0,
+)
+
+
+def idle(env, ms):
+    def sleeper():
+        yield env.timeout(ms)
+
+    env.run(until=env.process(sleeper()))
+
+
+def test_views_diverge_under_partition_and_reconcile_after_heal():
+    env = Environment(seed=19)
+    net = Internetwork(env)
+    seg = net.add_segment(latency=ConstantLatency(1.0, 0.0008))
+    hosts = [net.add_host(f"lab{i}", seg) for i in range(4)]
+    udp = DatagramTransport(net)
+    beacons = [BeaconService(h, udp, POLICY) for h in hosts]
+    beacons[0].announce("editor", 9001)
+    beacons[2].announce("printer", 9002)
+
+    def digests(services):
+        return {s.cache.membership_digest() for s in services}
+
+    idle(env, 3 * POLICY.beacon_period_ms + 100.0)
+    assert len(digests(beacons)) == 1  # whole segment converged
+
+    seg.partition(hosts[:2], hosts[2:])
+    # Long enough for each side's watchdog to evict the other side.
+    idle(env, POLICY.watchdog_deadline_ms() + 3 * POLICY.beacon_period_ms)
+    left, right = digests(beacons[:2]), digests(beacons[2:])
+    assert len(left) == 1 and len(right) == 1  # each side internally agrees
+    assert left != right  # but the sides disagree
+    assert beacons[0].cache.lookup("printer") is None  # evicted across the split
+    assert beacons[0].cache.lookup("editor") is not None  # own side survives
+    assert env.stats.counters().get("net.partition.drops", 0) > 0
+
+    seg.heal()
+    idle(env, 3 * POLICY.beacon_period_ms + 200.0)
+    assert len(digests(beacons)) == 1  # fully reconciled, no authority needed
+    assert beacons[0].cache.lookup("printer") is not None

@@ -1,0 +1,64 @@
+"""DiscoveryPolicy validation, derived values, and the disabled mode."""
+
+import dataclasses
+
+import pytest
+
+from repro.resolution import (
+    DEFAULT_DISCOVERY_POLICY,
+    DiscoveryPolicy,
+    PolicySet,
+)
+
+
+def test_defaults_are_live():
+    policy = DEFAULT_DISCOVERY_POLICY
+    assert policy.enabled
+    assert policy.liveness
+    assert policy.watchdog_deadline_ms() == (
+        policy.beacon_period_ms * policy.watchdog_multiplier
+    )
+
+
+def test_frozen():
+    with pytest.raises(dataclasses.FrozenInstanceError):
+        DEFAULT_DISCOVERY_POLICY.beacon_period_ms = 1.0  # type: ignore[misc]
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"beacon_period_ms": 0.0},
+        {"beacon_jitter": -0.1},
+        {"beacon_jitter": 1.0},
+        {"entry_ttl_ms": 0.0},
+        {"watchdog_multiplier": -1.0},
+        {"probe_timeout_ms": 0.0},
+        {"broadcast_wait_ms": 0.0},
+    ],
+)
+def test_validation_rejects_bad_knobs(kwargs):
+    with pytest.raises(ValueError):
+        DiscoveryPolicy(**kwargs)
+
+
+def test_zero_multiplier_disables_liveness_only():
+    ttl_only = DiscoveryPolicy(watchdog_multiplier=0.0)
+    assert ttl_only.enabled
+    assert not ttl_only.liveness
+    assert ttl_only.watchdog_deadline_ms() == 0.0
+
+
+def test_disabled_degrades_to_the_broadcast_locator():
+    off = DiscoveryPolicy.disabled()
+    assert not off.enabled
+    assert not off.liveness
+    # The degraded mode still answers queries — via one-shot broadcast.
+    assert off.requery_on_miss
+
+
+def test_policyset_carries_a_discovery_slot():
+    # None means "use the subsystem default", as for the other axes.
+    assert PolicySet().discovery is None
+    custom = PolicySet(discovery=DiscoveryPolicy.disabled())
+    assert not custom.discovery.enabled

@@ -96,7 +96,8 @@ def test_locator_finds_owner(world):
     answer = run(env, locator.locate("PrintService"))
     assert answer.owner == hosts[3].name
     assert answer.address == str(hosts[3].address)
-    assert answer.data == {"port": 6001}
+    # Field values are stringified on the wire (see broadcast/messages.py).
+    assert answer.data == {"port": "6001"}
 
 
 def test_locator_no_owner_raises(world):
